@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 1: the mobile-SoC architecture trend in power-vs-performance
+ * space (both axes logarithmic in the paper), regenerated from the
+ * simulated platform's operating points, plus the Table 1/3 platform
+ * echo.
+ *
+ * Points:
+ *  - DVFS: the strong core across its frequency ladder (narrow range);
+ *  - coherent heterogeneity (big.LITTLE-like): a hypothetical little
+ *    core constrained to share the strong domain's coherence fabric
+ *    (min power bounded by the interconnect, ~6x below the big core);
+ *  - incoherent heterogeneity (multi-domain): the weak domain's
+ *    operating points, up to ~20x below in power.
+ */
+
+#include <cstdio>
+
+#include "soc/config.h"
+#include "workloads/report.h"
+
+int
+main()
+{
+    using namespace k2;
+
+    wl::banner("Figure 1: power vs performance across SoC architectures");
+
+    const soc::SocConfig cfg = soc::omap4Config();
+    const auto &strong = cfg.domains[soc::kStrongDomain].core;
+    const auto &weak = cfg.domains[soc::kWeakDomain].core;
+
+    auto perf = [](const soc::CoreSpec &core, std::uint64_t hz) {
+        return hz / 1e6 * core.instrPerCycle; // MIPS of reference work
+    };
+
+    wl::Table table({"Design point", "Perf (MIPS)", "Active power (mW)",
+                     "Perf/W (MIPS/mW)"});
+    for (const auto &p : strong.points) {
+        table.addRow({"DVFS: " + strong.name + " @" +
+                          wl::fmt(p.hz / 1e6, 0) + "MHz",
+                      wl::fmt(perf(strong, p.hz), 0),
+                      wl::fmt(p.activeMw, 1),
+                      wl::fmt(perf(strong, p.hz) / p.activeMw, 2)});
+    }
+    // A big.LITTLE-style little core: its minimum power is bounded by
+    // the shared coherent interconnect (~1/6 of the big core, §2.2).
+    const double little_mw = strong.points.front().activeMw / 6.0;
+    const double little_mips = perf(strong, strong.points.front().hz) / 3;
+    table.addRow({"coherent hetero: LITTLE core",
+                  wl::fmt(little_mips, 0), wl::fmt(little_mw, 1),
+                  wl::fmt(little_mips / little_mw, 2)});
+    for (const auto &p : weak.points) {
+        table.addRow({"multi-domain: " + weak.name + " @" +
+                          wl::fmt(p.hz / 1e6, 0) + "MHz",
+                      wl::fmt(perf(weak, p.hz), 0),
+                      wl::fmt(p.activeMw, 1),
+                      wl::fmt(perf(weak, p.hz) / p.activeMw, 2)});
+    }
+    table.print();
+
+    const double ratio =
+        strong.points.front().activeMw / weak.points.front().activeMw;
+    std::printf("\nlowest-power ratio strong:weak domain = %.0fx "
+                "(paper: different domains can differ by up to ~20x, "
+                "vs ~6x within one domain)\n",
+                ratio);
+
+    wl::banner("Tables 1 & 3: simulated platform configuration");
+    wl::Table plat({"Property", "Cortex-A9 (strong)", "Cortex-M3 (weak)"});
+    plat.addRow({"ISA", strong.isa, weak.isa});
+    plat.addRow({"Frequency",
+                 wl::fmt(strong.points.front().hz / 1e6, 0) + "-" +
+                     wl::fmt(strong.points.back().hz / 1e6, 0) + " MHz",
+                 wl::fmt(weak.points.front().hz / 1e6, 0) + "-" +
+                     wl::fmt(weak.points.back().hz / 1e6, 0) + " MHz"});
+    plat.addRow({"Active power (bench point)",
+                 wl::fmt(strong.points.front().activeMw, 1) +
+                     " mW @350MHz",
+                 wl::fmt(weak.points.back().activeMw, 1) +
+                     " mW @200MHz"});
+    plat.addRow({"Idle power", wl::fmt(strong.idleMw, 1) + " mW",
+                 wl::fmt(weak.idleMw, 1) + " mW"});
+    plat.addRow({"Inactive power", wl::fmt(strong.inactiveMw, 2) + " mW",
+                 wl::fmt(weak.inactiveMw, 2) + " mW"});
+    plat.addRow({"MMU", "single-level ARMv7-A",
+                 "two cascaded levels, 10-entry L1 TLB"});
+    plat.print();
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * event dispatch, coroutine task spawn/await, buddy-allocator
+ * operations, and TLB lookups. These bound how fast the paper's
+ * experiments simulate (host-side performance, not modelled time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "soc/mmu.h"
+#include "kern/buddy.h"
+
+namespace {
+
+using namespace k2;
+
+void
+BM_EngineEventDispatch(benchmark::State &state)
+{
+    sim::Engine eng;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eng.after(sim::nsec(1), [&sink]() { ++sink; });
+        eng.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+sim::Task<void>
+trivialTask(int *out)
+{
+    ++*out;
+    co_return;
+}
+
+void
+BM_TaskSpawnAndRun(benchmark::State &state)
+{
+    sim::Engine eng;
+    int sink = 0;
+    for (auto _ : state) {
+        eng.spawn(trivialTask(&sink));
+        eng.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TaskSpawnAndRun);
+
+sim::Task<void>
+chainedTask(sim::Engine &eng, int depth)
+{
+    if (depth > 0)
+        co_await chainedTask(eng, depth - 1);
+}
+
+void
+BM_TaskAwaitChain(benchmark::State &state)
+{
+    sim::Engine eng;
+    for (auto _ : state) {
+        eng.spawn(chainedTask(eng, 64));
+        eng.run();
+    }
+}
+BENCHMARK(BM_TaskAwaitChain);
+
+void
+BM_ChannelSendRecv(benchmark::State &state)
+{
+    sim::Engine eng;
+    sim::Channel<int> chan(eng);
+    for (auto _ : state) {
+        chan.send(1);
+        benchmark::DoNotOptimize(chan.tryRecv());
+    }
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    kern::BuddyAllocator buddy("bench", 0, 16 * 4096);
+    buddy.addFreeRange(kern::PageRange{0, 16 * 4096});
+    const auto order = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto r = buddy.alloc(order, kern::Migrate::Movable);
+        buddy.free(r->range.first);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree)->Arg(0)->Arg(4)->Arg(8);
+
+void
+BM_BuddyReclaimDonate(benchmark::State &state)
+{
+    kern::BuddyAllocator buddy("bench", 0, 16 * 4096);
+    buddy.addFreeRange(kern::PageRange{0, 16 * 4096});
+    for (auto _ : state) {
+        auto res = buddy.reclaimRange(kern::PageRange{0, 4096});
+        benchmark::DoNotOptimize(res.ok);
+        buddy.addFreeRange(kern::PageRange{0, 4096});
+    }
+}
+BENCHMARK(BM_BuddyReclaimDonate);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    soc::Tlb tlb(32);
+    std::uint64_t tag = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(tag++ % 48));
+}
+BENCHMARK(BM_TlbLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * §8 NightWatch scheduling overhead: the extra main-kernel cost per
+ * context switch from overlapping the SuspendNW message round trip
+ * with the switch.
+ *
+ * Paper: "Given that a message round trip takes around 5 us and a
+ * context switch usually takes 3-4 us, the extra overhead for the main
+ * kernel is 1-2 us for every context switch."
+ */
+
+#include <cstdio>
+
+#include "workloads/report.h"
+#include "workloads/testbed.h"
+
+int
+main()
+{
+    using namespace k2;
+    using kern::Thread;
+    using sim::Task;
+
+    wl::banner("NightWatch overhead per main-kernel context switch (§8)");
+
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+    auto &k2sys = *tb.k2();
+
+    // A NightWatch thread that keeps trickling work, and a Normal
+    // thread of the same process that repeatedly blocks and resumes --
+    // each resume schedules it in, triggering SuspendNW.
+    tb.sys().spawnNightWatch(tb.proc(), "nw",
+                             [&](Thread &t) -> Task<void> {
+                                 for (int i = 0; i < 1000; ++i) {
+                                     co_await t.exec(10000);
+                                     co_await t.sleep(sim::usec(200));
+                                 }
+                             });
+    tb.sys().spawnNormal(tb.proc(), "normal",
+                         [&](Thread &t) -> Task<void> {
+                             for (int i = 0; i < 200; ++i) {
+                                 co_await t.exec(35000); // 100 us
+                                 co_await t.sleep(sim::msec(1));
+                             }
+                         });
+    tb.engine().run();
+
+    const auto &nw = k2sys.nightWatch();
+    wl::Table table({"Metric", "Measured", "Paper"});
+    table.addRow({"SuspendNW messages",
+                  std::to_string(nw.suspendsSent.value()), "-"});
+    table.addRow({"ResumeNW messages",
+                  std::to_string(nw.resumesSent.value()), "-"});
+    table.addRow({"extra wait per switch (us)",
+                  wl::fmt(nw.ackWaitUs.mean(), 2), "1-2"});
+    table.addRow({"mailbox round trip (us)",
+                  wl::fmt(sim::toUsec(
+                              2 * tb.sys().soc().costs().mailboxOneWay),
+                          1),
+                  "~5"});
+    table.addRow({"context switch (us)",
+                  wl::fmt(sim::toUsec(
+                              tb.sys().soc().costs().contextSwitch),
+                          1),
+                  "3-4"});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shadowed-driver sharing (§9.4): both kernels use the *same* DMA
+ * driver concurrently while K2 keeps its state coherent.
+ *
+ * Two processes run bulk transfers at the same time -- one from a
+ * Normal thread on the strong domain, one from a thread on the weak
+ * domain -- and the example reports the throughput split and the
+ * coherence traffic that made it possible.
+ */
+
+#include <cstdio>
+
+#include "workloads/report.h"
+#include "workloads/testbed.h"
+
+int
+main()
+{
+    using namespace k2;
+    using kern::Thread;
+    using kern::ThreadKind;
+    using sim::Task;
+
+    wl::banner("Example: one DMA driver shared by two kernels");
+
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0; // keep both domains awake
+    auto tb = wl::Testbed::makeK2(cfg);
+
+    constexpr std::uint64_t kBatch = 256 * 1024;
+    const sim::Duration kWindow = sim::sec(1);
+    const sim::Time deadline = tb.engine().now() + kWindow;
+
+    auto &proc2 = tb.sys().createProcess("weak-app");
+    std::uint64_t strong_bytes = 0;
+    std::uint64_t weak_bytes = 0;
+
+    tb.sys().mainKernel().spawnThread(
+        &tb.proc(), "strong-io", ThreadKind::Normal,
+        [&](Thread &t) -> Task<void> {
+            while (t.kernel().engine().now() < deadline) {
+                co_await tb.dma().transfer(t, kBatch);
+                strong_bytes += kBatch;
+            }
+        });
+    tb.k2()->shadowKernel().spawnThread(
+        &proc2, "weak-io", ThreadKind::Normal,
+        [&](Thread &t) -> Task<void> {
+            while (t.kernel().engine().now() < deadline) {
+                co_await tb.dma().transfer(t, kBatch);
+                weak_bytes += kBatch;
+            }
+        });
+    tb.engine().run();
+
+    const double secs = sim::toSec(kWindow);
+    const auto &dsm = tb.k2()->dsm();
+    wl::Table table({"Metric", "Value"});
+    table.addRow({"strong-kernel throughput",
+                  wl::fmt(strong_bytes / secs / 1e6, 1) + " MB/s"});
+    table.addRow({"weak-kernel throughput",
+                  wl::fmt(weak_bytes / secs / 1e6, 1) + " MB/s"});
+    table.addRow({"combined",
+                  wl::fmt((strong_bytes + weak_bytes) / secs / 1e6, 1) +
+                      " MB/s"});
+    table.addRow({"DSM faults (main/shadow)",
+                  std::to_string(dsm.faultStats(0).faults.value()) +
+                      " / " +
+                      std::to_string(dsm.faultStats(1).faults.value())});
+    table.addRow({"coherence messages",
+                  std::to_string(dsm.messagesSent())});
+    table.addRow({"hardware-spinlock acquisitions",
+                  std::to_string(
+                      tb.sys().soc().spinlocks().acquisitions())});
+    table.print();
+
+    std::printf("\nThe driver source is written once, against the "
+                "SystemImage API; the DSM made its channel table "
+                "coherent across the incoherent domains.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: boot K2 on the simulated OMAP4, run one light task as a
+ * NightWatch thread, and inspect where it ran and what it cost.
+ *
+ *   $ ./build/examples/quickstart
+ *
+ * Walks through the core public API:
+ *   - os::K2System       -- boots the two-kernel OS (single system image)
+ *   - createProcess/spawnNightWatch -- the §8 programming abstraction
+ *   - svc::Ext2Fs        -- a shadowed OS service used from the weak domain
+ *   - soc::EnergyMeter   -- per-domain energy accounting
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "os/k2_system.h"
+#include "svc/block.h"
+#include "svc/ext2.h"
+
+int
+main()
+{
+    using namespace k2;
+    using kern::Thread;
+    using sim::Task;
+
+    // 1. Boot K2: two kernels over the two coherence domains of a
+    //    simulated TI OMAP4 (2x Cortex-A9 "strong", 1x Cortex-M3
+    //    "weak"), with the DSM, balloon memory manager, interrupt
+    //    router and NightWatch machinery wired up.
+    os::K2System k2sys;
+    std::printf("booted %s: main kernel on '%s', shadow kernel on "
+                "'%s'\n",
+                k2sys.modelName(),
+                k2sys.mainKernel().domain().name().c_str(),
+                k2sys.shadowKernel().domain().name().c_str());
+
+    // 2. Attach a shadowed service: an ext2 filesystem on a ramdisk.
+    //    The same Ext2Fs object serves both kernels; K2 keeps its
+    //    state coherent transparently.
+    svc::RamDisk disk(svc::Ext2Fs::kBlockBytes, 4096);
+    svc::Ext2Fs fs(k2sys, disk);
+
+    auto &proc = k2sys.createProcess("quickstart");
+    k2sys.spawnNormal(proc, "mkfs", [&](Thread &t) -> Task<void> {
+        co_await fs.mkfs(t);
+    });
+    k2sys.ownedEngine().run();
+
+    // 3. Run a light task. NightWatch threads look exactly like normal
+    //    threads to the developer but are pinned on the weak domain.
+    const auto before = k2sys.soc().meter().snapshot();
+    k2sys.spawnNightWatch(proc, "light-task",
+                          [&](Thread &t) -> Task<void> {
+        std::printf("light task running on core %u (domain '%s')\n",
+                    t.core().id(),
+                    t.core().domain() == soc::kWeakDomain ? "weak"
+                                                          : "strong");
+        const std::int64_t fd = co_await fs.create(t, "/note.txt");
+        const char msg[] = "hello from the weak domain";
+        co_await fs.write(
+            t, static_cast<int>(fd),
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t *>(msg),
+                sizeof(msg)));
+        co_await fs.close(t, static_cast<int>(fd));
+
+        auto st = co_await fs.stat(t, "/note.txt");
+        std::printf("wrote /note.txt (%llu bytes)\n",
+                    static_cast<unsigned long long>(st->size));
+    });
+    k2sys.ownedEngine().run();
+
+    // 4. Inspect the cost. The strong domain never woke up.
+    auto &meter = k2sys.soc().meter();
+    std::printf("\nenergy since task start:\n");
+    for (soc::RailId r = 0; r < meter.numRails(); ++r) {
+        std::printf("  %-8s %8.1f uJ\n", meter.railName(r).c_str(),
+                    before.railUj(meter, r));
+    }
+    std::printf("strong-domain wakeups: %llu\n",
+                static_cast<unsigned long long>(
+                    k2sys.mainKernel().domain().core(0).wakeups() +
+                    k2sys.mainKernel().domain().core(1).wakeups()));
+    std::printf("DSM coherence messages: %llu\n",
+                static_cast<unsigned long long>(
+                    k2sys.dsm().messagesSent()));
+    std::printf("simulated time: %s\n",
+                sim::formatTime(k2sys.ownedEngine().now()).c_str());
+
+    // 5. Introspection: dump the whole OS state, and show the last few
+    //    coherence trace records (tracing is available per category).
+    std::printf("\n");
+    k2sys.dumpState(std::cout);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Context-awareness sensor logging -- the "sensing user physical
+ * activities / monitoring surrounding environment" class of light
+ * tasks from §2.1.
+ *
+ * A NightWatch thread periodically drains a (simulated) sensor FIFO
+ * with the DMA engine and appends compressed samples to a log file.
+ * Demonstrates: multiple shadowed services composed in one light task,
+ * interrupt routing to the weak domain, and the single system image --
+ * a Normal thread later reads the log the NightWatch thread wrote.
+ */
+
+#include <cstdio>
+
+#include "workloads/report.h"
+#include "workloads/testbed.h"
+
+int
+main()
+{
+    using namespace k2;
+    using kern::Thread;
+    using sim::Task;
+
+    wl::banner("Example: sensor logging on the weak domain");
+
+    auto tb = wl::Testbed::makeK2();
+
+    constexpr int kBatches = 12;
+    constexpr std::uint64_t kFifoBytes = 16 * 1024; // sensor FIFO drain
+    const sim::Duration kPeriod = sim::sec(2);
+
+    // The sensing task: drain the sensor FIFO via DMA, "compress"
+    // (CPU work), append to the log.
+    std::uint64_t logged = 0;
+    tb.sys().spawnNightWatch(
+        tb.proc(), "sensord", [&](Thread &t) -> Task<void> {
+            const std::int64_t fd =
+                co_await tb.fs().create(t, "/sensor.log");
+            std::vector<std::uint8_t> sample(kFifoBytes / 4, 0x5A);
+            for (int i = 0; i < kBatches; ++i) {
+                co_await tb.dma().transfer(t, kFifoBytes);
+                co_await t.exec(kFifoBytes * 12); // compression
+                co_await tb.fs().write(t, static_cast<int>(fd),
+                                       sample);
+                logged += sample.size();
+                co_await t.sleep(kPeriod);
+            }
+            co_await tb.fs().close(t, static_cast<int>(fd));
+        });
+    tb.engine().run();
+
+    // Single system image: a Normal thread (strong domain) reads what
+    // the NightWatch thread (weak domain) logged.
+    std::uint64_t read_back = 0;
+    tb.sys().spawnNormal(
+        tb.proc(), "analyzer", [&](Thread &t) -> Task<void> {
+            const std::int64_t fd =
+                co_await tb.fs().open(t, "/sensor.log");
+            std::vector<std::uint8_t> buf(64 * 1024);
+            for (;;) {
+                const std::int64_t n =
+                    co_await tb.fs().read(t, static_cast<int>(fd), buf);
+                if (n <= 0)
+                    break;
+                read_back += static_cast<std::uint64_t>(n);
+            }
+            co_await tb.fs().close(t, static_cast<int>(fd));
+        });
+    tb.engine().run();
+
+    auto &strong = tb.sys().mainKernel().domain();
+    auto &weak = tb.k2()->shadowKernel().domain();
+    wl::Table table({"Metric", "Value"});
+    table.addRow({"sensor batches", std::to_string(kBatches)});
+    table.addRow({"bytes logged (weak domain)", std::to_string(logged)});
+    table.addRow({"bytes read back (strong domain)",
+                  std::to_string(read_back)});
+    table.addRow({"DMA completion IRQs handled",
+                  std::to_string(tb.dma().irqsHandled.value())});
+    table.addRow({"weak-core active time",
+                  sim::formatTime(weak.core(0).activeTime())});
+    table.addRow(
+        {"strong-domain wakeups during sensing + analysis",
+         std::to_string(strong.core(0).wakeups() +
+                        strong.core(1).wakeups())});
+    table.print();
+
+    if (logged != read_back) {
+        std::printf("DATA MISMATCH\n");
+        return 1;
+    }
+    std::printf("\nThe log written by the weak domain was read intact "
+                "by the strong domain -- one namespace, one "
+                "filesystem, two kernels.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The §11 future: three coherence domains (strong + weak + an
+ * always-on sensor hub), with kernel state kept coherent by the
+ * N-domain DSM.
+ *
+ * A continuous-sensing loop runs on each domain in turn, periodically
+ * appending readings to a shared in-kernel log whose pages the NDsm
+ * migrates to whichever domain is active. The example compares the
+ * energy of hosting the sensing loop on each domain -- the reason a
+ * hub domain exists at all.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "os/ndsm.h"
+#include "workloads/report.h"
+
+namespace {
+
+using namespace k2;
+using kern::Thread;
+using kern::ThreadKind;
+using sim::Task;
+
+struct System
+{
+    sim::Engine eng;
+    std::unique_ptr<soc::Soc> soc;
+    std::vector<std::unique_ptr<kern::Kernel>> kernels;
+    std::unique_ptr<os::NDsm> ndsm;
+    std::unique_ptr<kern::Process> proc;
+
+    System()
+    {
+        soc = std::make_unique<soc::Soc>(eng, soc::threeDomainConfig());
+        std::vector<kern::Kernel *> raw;
+        const char *names[] = {"main", "shadow", "hub"};
+        for (soc::DomainId d = 0; d < 3; ++d) {
+            kernels.push_back(
+                std::make_unique<kern::Kernel>(*soc, d, names[d]));
+            kernels.back()->boot();
+            raw.push_back(kernels.back().get());
+        }
+        ndsm = std::make_unique<os::NDsm>(*soc, raw, 1024);
+        for (std::size_t i = 0; i < 3; ++i) {
+            kernels[i]->setMailHandler(
+                [this, i](soc::Mail m, soc::Core &c) {
+                    return ndsm->handleMail(i, m, c);
+                });
+        }
+        proc = std::make_unique<kern::Process>(1, "sensing");
+    }
+};
+
+/** One sensing episode on kernel @p k: N samples into the shared log. */
+double
+senseOn(System &sys, std::size_t k, int samples)
+{
+    sys.eng.run(); // quiesce
+    const auto snap = sys.soc->meter().snapshot();
+
+    sys.kernels[k]->spawnThread(
+        sys.proc.get(), "sensor", ThreadKind::Normal,
+        [&sys, k, samples](Thread &t) -> Task<void> {
+            for (int i = 0; i < samples; ++i) {
+                // Read the sensor FIFO, filter, append to the shared
+                // log page (kept coherent by the NDsm).
+                co_await t.exec(4000);
+                co_await sys.ndsm->access(t.kernel(), t.core(),
+                                          /*page=*/3,
+                                          os::Access::Write);
+                co_await t.exec(1500);
+                co_await t.sleep(sim::msec(100));
+            }
+        });
+    sys.eng.run();
+    return snap.totalUj(sys.soc->meter());
+}
+
+} // namespace
+
+int
+main()
+{
+    wl::banner("Example: continuous sensing across three coherence "
+               "domains (§11)");
+
+    System sys;
+    constexpr int kSamples = 20;
+
+    // Warm the log page through each domain once, then measure.
+    for (std::size_t k : {0u, 1u, 2u})
+        senseOn(sys, k, 2);
+
+    wl::Table table({"Sensing host", "episode energy (mJ)",
+                     "vs strong domain"});
+    const double strong_uj = senseOn(sys, 0, kSamples);
+    const double weak_uj = senseOn(sys, 1, kSamples);
+    const double hub_uj = senseOn(sys, 2, kSamples);
+    table.addRow({"strong (Cortex-A9)", wl::fmt(strong_uj / 1000, 2),
+                  "1.0x"});
+    table.addRow({"weak (Cortex-M3)", wl::fmt(weak_uj / 1000, 2),
+                  wl::fmt(strong_uj / weak_uj, 1) + "x better"});
+    table.addRow({"hub (Cortex-M0)", wl::fmt(hub_uj / 1000, 2),
+                  wl::fmt(strong_uj / hub_uj, 1) + "x better"});
+    table.print();
+
+    std::printf("\nlog-page owner after the run: kernel '%s'\n",
+                sys.kernels[sys.ndsm->ownerOf(3)]->name().c_str());
+    std::printf("coherence messages: %llu; the same sensing code ran "
+                "unmodified on all three domains against one shared "
+                "log.\n",
+                static_cast<unsigned long long>(
+                    sys.ndsm->messagesSent()));
+    return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the extension experiments.
+#
+# Usage: scripts/run_experiments.sh [build-dir]
+#
+# Builds (if needed), runs the test suite, then executes every bench
+# binary, teeing the combined output to <build-dir>/experiments.txt.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja >/dev/null
+cmake --build "$BUILD_DIR"
+
+echo "== running test suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+OUT="$BUILD_DIR/experiments.txt"
+: > "$OUT"
+echo "== running benches (output: $OUT) =="
+for b in "$BUILD_DIR"/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    case "$b" in *cmake*|*CMake*|*CTest*) continue ;; esac
+    {
+        echo
+        echo "############ $(basename "$b") ############"
+        "$b"
+    } | tee -a "$OUT"
+done
+
+echo
+echo "done; full output in $OUT"

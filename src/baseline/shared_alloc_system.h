@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The failed design of §9.3: the page allocator as a *shadowed*
+ * service instead of an independent one.
+ *
+ * "To contrast with K2's independent page allocators, we attempted but
+ * found it infeasible to implement the page allocator as a shadowed
+ * service. The contention between coherence domains is very high,
+ * incurring four to five DSM page faults in every allocation, leading
+ * to a 200x slowdown."
+ *
+ * This system keeps one logical allocator (the main kernel's) whose
+ * hot metadata -- free-list heads, per-page structs, zone counters --
+ * lives behind the DSM. Every allocation or free from either kernel
+ * touches those state pages with write access, so alternating
+ * allocations between domains ping-pong 4-5 pages per call.
+ */
+
+#ifndef K2_BASELINE_SHARED_ALLOC_SYSTEM_H
+#define K2_BASELINE_SHARED_ALLOC_SYSTEM_H
+
+#include <memory>
+
+#include "os/k2_system.h"
+
+namespace k2 {
+namespace baseline {
+
+class SharedAllocSystem : public os::K2System
+{
+  public:
+    explicit SharedAllocSystem(os::K2Config cfg = {});
+
+    sim::Task<kern::PageRange>
+    allocPages(kern::Thread &t, unsigned order,
+               kern::Migrate migrate = kern::Migrate::Movable) override;
+    sim::Task<void> freePages(kern::Thread &t,
+                              kern::PageRange range) override;
+
+  private:
+    /** Touch the allocator's hot state pages (4-5 per operation). */
+    sim::Task<void> touchAllocatorState(kern::Thread &t, unsigned order,
+                                        kern::Pfn pfn);
+
+    /** Shared-state pages standing in for the allocator metadata:
+     *  zone counters, per-order free-list heads, struct-page pages. */
+    std::unique_ptr<os::SharedRegion> state_;
+};
+
+} // namespace baseline
+} // namespace k2
+
+#endif // K2_BASELINE_SHARED_ALLOC_SYSTEM_H

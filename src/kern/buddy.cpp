@@ -1,0 +1,401 @@
+#include "kern/buddy.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace kern {
+
+BuddyAllocator::BuddyAllocator(std::string name, Pfn base,
+                               std::uint64_t npages)
+    : name_(std::move(name)), base_(base), npages_(npages), meta_(npages)
+{
+    const std::uint64_t align = 1ull << kMaxOrder;
+    if (base_ % align != 0)
+        K2_FATAL("allocator '%s' base pfn %llu not 16MB aligned",
+                 name_.c_str(), static_cast<unsigned long long>(base_));
+}
+
+BuddyAllocator::PageMeta &
+BuddyAllocator::meta(Pfn pfn)
+{
+    K2_ASSERT(pfn >= base_ && rel(pfn) < npages_);
+    return meta_[rel(pfn)];
+}
+
+const BuddyAllocator::PageMeta &
+BuddyAllocator::meta(Pfn pfn) const
+{
+    K2_ASSERT(pfn >= base_ && rel(pfn) < npages_);
+    return meta_[rel(pfn)];
+}
+
+void
+BuddyAllocator::insertFree(Pfn pfn, unsigned order)
+{
+    freeLists_[order].insert(pfn);
+    meta(pfn).state = PageState::FreeHead;
+    meta(pfn).order = static_cast<std::uint8_t>(order);
+    const std::uint64_t n = 1ull << order;
+    for (std::uint64_t i = 1; i < n; ++i)
+        meta_[rel(pfn) + i].state = PageState::FreeBody;
+}
+
+void
+BuddyAllocator::removeFree(Pfn pfn, unsigned order)
+{
+    const auto erased = freeLists_[order].erase(pfn);
+    K2_ASSERT(erased == 1);
+}
+
+std::optional<BuddyAllocator::AllocResult>
+BuddyAllocator::alloc(unsigned order, Migrate migrate)
+{
+    allocCalls.inc();
+    if (order > kMaxOrder) {
+        failedAllocs.inc();
+        return std::nullopt;
+    }
+
+    // Placement policy: movable from the top of memory, unmovable from
+    // the bottom (keeps movable pages near the balloon frontier, §6.2).
+    // Scan all sufficient orders for the extremal block so placement is
+    // strictly address-ordered.
+    bool have = false;
+    unsigned found = 0;
+    Pfn block = 0;
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+        if (freeLists_[o].empty())
+            continue;
+        if (migrate == Migrate::Movable) {
+            const Pfn cand = *freeLists_[o].rbegin();
+            const Pfn cand_end = cand + (1ull << o);
+            if (!have || cand_end > block + (1ull << found)) {
+                have = true;
+                found = o;
+                block = cand;
+            }
+        } else {
+            const Pfn cand = *freeLists_[o].begin();
+            if (!have || cand < block) {
+                have = true;
+                found = o;
+                block = cand;
+            }
+        }
+    }
+    if (!have) {
+        failedAllocs.inc();
+        return std::nullopt;
+    }
+
+    std::uint64_t work = workModel_.base;
+    removeFree(block, found);
+
+    // Split down to the requested order. For movable requests keep the
+    // *upper* buddy and return the lower one to the free lists, and
+    // vice versa, to preserve the placement policy.
+    while (found > order) {
+        --found;
+        const Pfn lower = block;
+        const Pfn upper = block + (1ull << found);
+        if (migrate == Migrate::Movable) {
+            insertFree(lower, found);
+            block = upper;
+        } else {
+            insertFree(upper, found);
+            block = lower;
+        }
+        work += workModel_.perSplit;
+    }
+
+    const std::uint64_t n = 1ull << order;
+    meta(block).state = PageState::AllocHead;
+    meta(block).order = static_cast<std::uint8_t>(order);
+    meta(block).migrate = migrate;
+    for (std::uint64_t i = 1; i < n; ++i)
+        meta_[rel(block) + i].state = PageState::AllocBody;
+
+    freePages_ -= n;
+    allocatedPages_ += n;
+    work += workModel_.perPage * n;
+    return AllocResult{PageRange{block, n}, work};
+}
+
+std::uint64_t
+BuddyAllocator::free(Pfn first)
+{
+    freeCalls.inc();
+    PageMeta &m = meta(first);
+    if (m.state != PageState::AllocHead)
+        K2_PANIC("allocator '%s': free of pfn %llu which is not an "
+                 "allocation head", name_.c_str(),
+                 static_cast<unsigned long long>(first));
+
+    unsigned order = m.order;
+    std::uint64_t n = 1ull << order;
+    allocatedPages_ -= n;
+    freePages_ += n;
+    std::uint64_t work = workModel_.base;
+
+    // Coalesce with free buddies.
+    Pfn block = first;
+    while (order < kMaxOrder) {
+        const std::uint64_t buddy_rel = rel(block) ^ (1ull << order);
+        if (buddy_rel >= npages_)
+            break;
+        const Pfn buddy = base_ + buddy_rel;
+        if (meta(buddy).state != PageState::FreeHead ||
+            meta(buddy).order != order) {
+            break;
+        }
+        removeFree(buddy, order);
+        block = std::min(block, buddy);
+        ++order;
+        work += workModel_.perMerge;
+    }
+    insertFree(block, order);
+    return work;
+}
+
+bool
+BuddyAllocator::isAllocated(Pfn pfn) const
+{
+    return meta(pfn).state == PageState::AllocHead;
+}
+
+Migrate
+BuddyAllocator::migrateOf(Pfn pfn) const
+{
+    K2_ASSERT(meta(pfn).state == PageState::AllocHead);
+    return meta(pfn).migrate;
+}
+
+std::uint64_t
+BuddyAllocator::addFreeRange(PageRange range)
+{
+    K2_ASSERT(range.first >= base_ && range.end() <= base_ + npages_);
+    std::uint64_t work = workModel_.base;
+    for (Pfn p = range.first; p < range.end(); ++p) {
+        if (meta(p).state != PageState::NotOwned)
+            K2_PANIC("allocator '%s': addFreeRange over owned pfn %llu",
+                     name_.c_str(), static_cast<unsigned long long>(p));
+    }
+
+    // Greedily insert maximal aligned blocks.
+    Pfn p = range.first;
+    std::uint64_t remaining = range.count;
+    while (remaining > 0) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               ((rel(p) & ((1ull << order) - 1)) != 0 ||
+                (1ull << order) > remaining)) {
+            --order;
+        }
+        insertFree(p, order);
+        work += workModel_.perMerge;
+        p += 1ull << order;
+        remaining -= 1ull << order;
+    }
+    freePages_ += range.count;
+    return work;
+}
+
+Pfn
+BuddyAllocator::freeBlockHead(Pfn pfn) const
+{
+    // Walk back to the FreeHead covering pfn. Heads are aligned, so
+    // try successively larger alignments.
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        const Pfn cand = base_ + (rel(pfn) & ~((1ull << order) - 1));
+        const PageMeta &m = meta(cand);
+        if (m.state == PageState::FreeHead && m.order >= order &&
+            rel(pfn) < rel(cand) + (1ull << m.order)) {
+            return cand;
+        }
+    }
+    K2_PANIC("allocator '%s': pfn %llu is not inside a free block",
+             name_.c_str(), static_cast<unsigned long long>(pfn));
+}
+
+std::uint64_t
+BuddyAllocator::carveFreePage(Pfn pfn)
+{
+    const Pfn head = freeBlockHead(pfn);
+    unsigned order = meta(head).order;
+    removeFree(head, order);
+    std::uint64_t work = 0;
+
+    // Recursively split, keeping the half containing pfn out and
+    // reinserting the other half.
+    Pfn block = head;
+    while (order > 0) {
+        --order;
+        const Pfn lower = block;
+        const Pfn upper = block + (1ull << order);
+        if (pfn >= upper) {
+            insertFree(lower, order);
+            block = upper;
+        } else {
+            insertFree(upper, order);
+            block = lower;
+        }
+        work += workModel_.perSplit;
+    }
+    meta(pfn).state = PageState::NotOwned;
+    --freePages_;
+    return work;
+}
+
+std::uint64_t
+BuddyAllocator::movablePagesIn(PageRange range) const
+{
+    std::uint64_t count = 0;
+    for (Pfn p = range.first; p < range.end(); ++p) {
+        const PageMeta &m = meta(p);
+        if (m.state == PageState::AllocHead ||
+            m.state == PageState::AllocBody) {
+            // Mobility is stored on the head; bodies inherit it. Find
+            // the head by walking back (bodies follow heads within
+            // kMaxOrder alignment).
+            Pfn head = p;
+            while (meta(head).state == PageState::AllocBody)
+                --head;
+            if (meta(head).migrate == Migrate::Movable)
+                ++count;
+        }
+    }
+    return count;
+}
+
+BuddyAllocator::ReclaimResult
+BuddyAllocator::reclaimRange(PageRange range)
+{
+    K2_ASSERT(range.first >= base_ && range.end() <= base_ + npages_);
+    ReclaimResult res;
+
+    // Pass 1: the range must contain only free pages and movable
+    // allocations, all fully inside the range.
+    std::uint64_t movable = 0;
+    for (Pfn p = range.first; p < range.end(); ++p) {
+        const PageMeta &m = meta(p);
+        switch (m.state) {
+          case PageState::NotOwned:
+            K2_PANIC("allocator '%s': reclaim of unowned pfn %llu",
+                     name_.c_str(), static_cast<unsigned long long>(p));
+          case PageState::AllocHead:
+            if (m.migrate == Migrate::Unmovable)
+                return res; // fail, no side effects
+            if (p + (1ull << m.order) > range.end())
+                return res; // allocation straddles the range end
+            movable += 1ull << m.order;
+            p += (1ull << m.order) - 1;
+            break;
+          case PageState::AllocBody:
+            // A body with no head inside the range: allocation
+            // straddles the range start.
+            return res;
+          default:
+            break;
+        }
+    }
+
+    // Migration feasibility: enough free pages strictly outside the
+    // range. (Free pages inside it are being reclaimed.)
+    std::uint64_t free_inside = 0;
+    for (Pfn p = range.first; p < range.end(); ++p) {
+        const PageState s = meta(p).state;
+        if (s == PageState::FreeHead || s == PageState::FreeBody)
+            ++free_inside;
+    }
+    if (freePages_ - free_inside < movable)
+        return res;
+
+    // Pass 2: evacuate movable allocations. Each evacuated block is
+    // re-allocated outside the range (placement policy naturally picks
+    // blocks away from the frontier) and the old block becomes
+    // NotOwned. Clients address pages through their own mappings,
+    // which Linux page migration updates; we model the cost only.
+    for (Pfn p = range.first; p < range.end();) {
+        PageMeta &m = meta(p);
+        if (m.state == PageState::AllocHead) {
+            const unsigned order = m.order;
+            const std::uint64_t n = 1ull << order;
+            // Mark old pages as leaving the allocator.
+            for (std::uint64_t i = 0; i < n; ++i)
+                meta_[rel(p) + i].state = PageState::NotOwned;
+            allocatedPages_ -= n;
+            // Re-allocate outside. This may transiently pick a block
+            // inside the range; forbid that by carving the range's
+            // free pages out *first* (below we instead carve now).
+            res.migrated += n;
+            res.work += workModel_.perMigrate * n;
+            p += n;
+        } else {
+            ++p;
+        }
+    }
+
+    // Pass 3: carve out free pages within the range.
+    for (Pfn p = range.first; p < range.end(); ++p) {
+        const PageState s = meta(p).state;
+        if (s == PageState::FreeHead || s == PageState::FreeBody)
+            res.work += carveFreePage(p);
+    }
+
+    // Pass 4: now re-home the evacuated pages outside the range.
+    std::uint64_t to_place = res.migrated;
+    while (to_place > 0) {
+        auto r = alloc(0, Migrate::Movable);
+        K2_ASSERT(r.has_value()); // guaranteed by feasibility check
+        res.work += r->work;
+        --to_place;
+    }
+
+    res.ok = true;
+    res.work += workModel_.base;
+    return res;
+}
+
+std::optional<unsigned>
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int order = kMaxOrder; order >= 0; --order) {
+        if (!freeLists_[static_cast<unsigned>(order)].empty())
+            return static_cast<unsigned>(order);
+    }
+    return std::nullopt;
+}
+
+void
+BuddyAllocator::checkInvariants() const
+{
+    std::uint64_t free_count = 0;
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (const Pfn head : freeLists_[order]) {
+            const PageMeta &m = meta(head);
+            K2_ASSERT(m.state == PageState::FreeHead);
+            K2_ASSERT(m.order == order);
+            K2_ASSERT((rel(head) & ((1ull << order) - 1)) == 0);
+            free_count += 1ull << order;
+            for (std::uint64_t i = 1; i < (1ull << order); ++i) {
+                K2_ASSERT(meta_[rel(head) + i].state ==
+                          PageState::FreeBody);
+            }
+        }
+    }
+    K2_ASSERT(free_count == freePages_);
+
+    std::uint64_t alloc_count = 0;
+    for (std::uint64_t i = 0; i < npages_; ++i) {
+        if (meta_[i].state == PageState::AllocHead ||
+            meta_[i].state == PageState::AllocBody) {
+            ++alloc_count;
+        }
+    }
+    K2_ASSERT(alloc_count == allocatedPages_);
+}
+
+} // namespace kern
+} // namespace k2

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * A buddy physical-page allocator (the kernel's core memory service).
+ *
+ * Follows the Linux design the paper builds on: power-of-two blocks up
+ * to kMaxOrder, per-order free lists, buddy coalescing on free, and a
+ * movable/unmovable placement policy. Two K2-specific capabilities are
+ * first-class here (§6.2):
+ *
+ *  - The allocator can start *empty* and be grown/shrunk at runtime by
+ *    a balloon driver: addFreeRange() donates a physically contiguous
+ *    range (deflate); reclaimRange() takes a specific range back
+ *    (inflate), migrating movable pages out of it.
+ *
+ *  - Placement keeps movable pages near the balloon frontier: movable
+ *    allocations are served from the highest-address free block,
+ *    unmovable from the lowest, so reclaiming from the top mostly hits
+ *    movable pages ("the efforts are likely to succeed", §6.2).
+ *
+ * Operations return a work-unit count (list manipulations, splits,
+ * merges, per-page initialisation) that callers convert to simulated
+ * instructions, which is how the Table 4 latencies arise.
+ */
+
+#ifndef K2_KERN_BUDDY_H
+#define K2_KERN_BUDDY_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "kern/types.h"
+
+namespace k2 {
+namespace kern {
+
+/** Page mobility class, mirroring Linux migrate types. */
+enum class Migrate { Unmovable, Movable };
+
+class BuddyAllocator
+{
+  public:
+    /** Largest block: 2^12 pages = 16 MB of 4 KB pages (one K2 page
+     *  block). */
+    static constexpr unsigned kMaxOrder = 12;
+
+    /** Work-unit cost model (converted to instructions by callers). */
+    struct WorkModel
+    {
+        std::uint64_t base = 220;     //!< Fast-path list operation.
+        std::uint64_t perSplit = 40;  //!< Splitting one block level.
+        std::uint64_t perMerge = 45;  //!< Coalescing one level.
+        std::uint64_t perPage = 17;   //!< Per-page init/zeroing.
+        std::uint64_t perMigrate = 600; //!< Copy+remap one page.
+    };
+
+    /**
+     * @param name For diagnostics.
+     * @param base First pfn this allocator may ever manage. Must be
+     *        aligned to 2^kMaxOrder pages.
+     * @param npages Size of the managed window in pages.
+     */
+    BuddyAllocator(std::string name, Pfn base, std::uint64_t npages);
+
+    const std::string &name() const { return name_; }
+    Pfn base() const { return base_; }
+    std::uint64_t windowPages() const { return npages_; }
+
+    /** Pages currently free. */
+    std::uint64_t freePages() const { return freePages_; }
+
+    /** Pages currently allocated to clients. */
+    std::uint64_t allocatedPages() const { return allocatedPages_; }
+
+    /** Pages currently owned (free + allocated). */
+    std::uint64_t ownedPages() const { return freePages_ + allocatedPages_; }
+
+    /** Outcome of an allocation. */
+    struct AllocResult
+    {
+        PageRange range;
+        std::uint64_t work = 0; //!< Work units spent.
+    };
+
+    /**
+     * Allocate a 2^order page block.
+     *
+     * @param order Block order (0 => one page).
+     * @param migrate Mobility of the allocation; movable blocks are
+     *        placed at the high end of free memory.
+     * @return The block and its work cost, or nullopt if no free block
+     *         of sufficient order exists.
+     */
+    std::optional<AllocResult> alloc(unsigned order, Migrate migrate);
+
+    /**
+     * Free a block previously returned by alloc().
+     *
+     * @param first First pfn of the block (must be an allocation head).
+     * @return Work units spent (including coalescing).
+     */
+    std::uint64_t free(Pfn first);
+
+    /** True if @p pfn is the head of a live allocation. */
+    bool isAllocated(Pfn pfn) const;
+
+    /** Mobility of a live allocation (head pfn). */
+    Migrate migrateOf(Pfn pfn) const;
+
+    /**
+     * Donate a page range to the allocator (balloon deflate / boot).
+     *
+     * The range must lie in the window and not overlap owned pages.
+     * @return Work units spent.
+     */
+    std::uint64_t addFreeRange(PageRange range);
+
+    /** Outcome of reclaimRange(). */
+    struct ReclaimResult
+    {
+        bool ok = false;            //!< False: range had unmovable pages
+                                    //!< or migration targets ran out.
+        std::uint64_t migrated = 0; //!< Movable pages evacuated.
+        std::uint64_t work = 0;
+    };
+
+    /**
+     * Take a specific range away from the allocator (balloon inflate).
+     *
+     * Free pages in the range are removed from the free lists; movable
+     * allocated pages are migrated to free pages outside the range
+     * (their owners keep logical ownership -- this models Linux page
+     * migration). Fails without side effects if the range contains
+     * unmovable allocations or there is not enough free space outside
+     * it.
+     */
+    ReclaimResult reclaimRange(PageRange range);
+
+    /**
+     * Largest physically contiguous free block order available.
+     */
+    std::optional<unsigned> largestFreeOrder() const;
+
+    /**
+     * Count of movable pages among allocated pages in @p range.
+     */
+    std::uint64_t movablePagesIn(PageRange range) const;
+
+    /** Internal consistency check (for tests); panics on corruption. */
+    void checkInvariants() const;
+
+  private:
+    enum class PageState : std::uint8_t
+    {
+        NotOwned,  //!< Outside the allocator (owned by K2 / balloon).
+        FreeHead,  //!< First page of a free block.
+        FreeBody,  //!< Interior page of a free block.
+        AllocHead, //!< First page of an allocation.
+        AllocBody, //!< Interior page of an allocation.
+    };
+
+    struct PageMeta
+    {
+        PageState state = PageState::NotOwned;
+        std::uint8_t order = 0;
+        Migrate migrate = Migrate::Movable;
+    };
+
+    std::uint64_t rel(Pfn pfn) const { return pfn - base_; }
+    PageMeta &meta(Pfn pfn);
+    const PageMeta &meta(Pfn pfn) const;
+
+    void insertFree(Pfn pfn, unsigned order);
+    void removeFree(Pfn pfn, unsigned order);
+
+    /** Find the head of the free block containing @p pfn. */
+    Pfn freeBlockHead(Pfn pfn) const;
+
+    /**
+     * Carve @p pfn's page out of the free block that contains it,
+     * returning the rest of the block to the free lists.
+     * @return Work units.
+     */
+    std::uint64_t carveFreePage(Pfn pfn);
+
+    std::string name_;
+    Pfn base_;
+    std::uint64_t npages_;
+    std::vector<PageMeta> meta_;
+    std::array<std::set<Pfn>, kMaxOrder + 1> freeLists_;
+    std::uint64_t freePages_ = 0;
+    std::uint64_t allocatedPages_ = 0;
+    WorkModel workModel_;
+
+  public:
+    /** @name Statistics. @{ */
+    sim::Counter allocCalls;
+    sim::Counter freeCalls;
+    sim::Counter failedAllocs;
+    /** @} */
+
+    const WorkModel &workModel() const { return workModel_; }
+};
+
+} // namespace kern
+} // namespace k2
+
+#endif // K2_KERN_BUDDY_H

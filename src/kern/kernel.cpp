@@ -1,0 +1,127 @@
+#include "kern/kernel.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace kern {
+
+namespace {
+
+Tid g_next_tid = 1;
+
+} // namespace
+
+Kernel::Kernel(soc::Soc &soc, soc::DomainId domain, std::string name)
+    : soc_(soc), domainId_(domain), name_(std::move(name))
+{
+    auto &dom = soc_.domain(domainId_);
+    std::vector<soc::Core *> cores;
+    for (std::size_t i = 0; i < dom.numCores(); ++i)
+        cores.push_back(&dom.core(i));
+    sched_ = std::make_unique<Scheduler>(soc_.engine(), std::move(cores),
+                                         soc_.costs());
+    // Each kernel's allocator instance can manage any page of RAM; it
+    // starts empty and is populated at boot (baseline) or through the
+    // balloon driver (K2).
+    buddy_ = std::make_unique<BuddyAllocator>(name_ + "-buddy", 0,
+                                              soc_.numPages());
+}
+
+Kernel::~Kernel() = default;
+
+void
+Kernel::boot()
+{
+    K2_ASSERT(!booted_);
+    booted_ = true;
+    sched_->start();
+    domain().irqCtrl().registerHandler(
+        soc::kIrqMailbox,
+        [this](soc::Core &core) { return mailboxIsr(core); });
+}
+
+sim::Task<void>
+Kernel::mailboxIsr(soc::Core &core)
+{
+    while (auto mail = soc_.mailbox().tryRead(domainId_)) {
+        // Reading the mailbox register costs one bus access.
+        co_await core.execTime(soc_.costs().busAccess);
+        if (mailHandler_)
+            co_await mailHandler_(*mail, core);
+        else
+            K2_PANIC("kernel '%s': mail received with no handler",
+                     name_.c_str());
+    }
+}
+
+void
+Kernel::sendMail(soc::DomainId to, std::uint32_t word)
+{
+    soc_.mailbox().send(domainId_, to, word);
+}
+
+Thread *
+Kernel::spawnThread(Process *proc, std::string name, ThreadKind kind,
+                    Thread::Body body)
+{
+    K2_ASSERT(booted_);
+    threads_.push_back(std::make_unique<Thread>(
+        *this, proc, g_next_tid++, std::move(name), kind,
+        std::move(body)));
+    Thread *t = threads_.back().get();
+    if (proc)
+        proc->addThread(t);
+    sched_->makeReady(*t);
+    return t;
+}
+
+void
+Kernel::registerIrq(soc::IrqLine line, soc::IrqHandler handler)
+{
+    domain().irqCtrl().registerHandler(line, std::move(handler));
+}
+
+sim::Duration
+Kernel::kernelWorkTime(const soc::Core &core, std::uint64_t work) const
+{
+    const double instr =
+        static_cast<double>(work) * core.spec().kernelCostFactor;
+    const auto cycles = static_cast<std::uint64_t>(
+        instr / core.spec().instrPerCycle + 0.5);
+    return sim::cyclesToTime(cycles ? cycles : 1, core.hz());
+}
+
+sim::Task<void>
+Kernel::chargeKernelWork(Thread &t, std::uint64_t work)
+{
+    const double instr =
+        static_cast<double>(work) * t.core().spec().kernelCostFactor;
+    co_await t.exec(static_cast<std::uint64_t>(instr + 0.5));
+}
+
+sim::Task<PageRange>
+Kernel::allocPages(Thread &t, unsigned order, Migrate migrate)
+{
+    auto res = buddy_->alloc(order, migrate);
+    if (!res) {
+        if (probe_)
+            probe_(buddy_->freePages());
+        co_return PageRange{};
+    }
+    co_await chargeKernelWork(t, res->work);
+    if (probe_)
+        probe_(buddy_->freePages());
+    co_return res->range;
+}
+
+sim::Task<void>
+Kernel::freePages(Thread &t, PageRange range)
+{
+    const std::uint64_t work = buddy_->free(range.first);
+    co_await chargeKernelWork(t, work);
+    if (probe_)
+        probe_(buddy_->freePages());
+}
+
+} // namespace kern
+} // namespace k2

@@ -1,0 +1,51 @@
+#include "kern/layout.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace kern {
+
+namespace {
+
+/** Pages per 16 MB page block (with 4 KB pages). */
+constexpr std::uint64_t kBlockPages = 4096;
+
+std::uint64_t
+roundUpToBlock(std::uint64_t pages)
+{
+    return (pages + kBlockPages - 1) / kBlockPages * kBlockPages;
+}
+
+} // namespace
+
+AddressSpaceLayout::AddressSpaceLayout(
+    std::size_t page_bytes, std::uint64_t total_pages,
+    std::vector<std::pair<std::string, std::uint64_t>> locals)
+    : pageBytes_(page_bytes), totalPages_(total_pages)
+{
+    Pfn next = 0;
+    for (auto &[owner, pages] : locals) {
+        const std::uint64_t rounded = roundUpToBlock(pages);
+        locals_.push_back(Region{owner, PageRange{next, rounded}});
+        next += rounded;
+    }
+    if (next >= total_pages)
+        K2_FATAL("local regions (%llu pages) exhaust physical memory "
+                 "(%llu pages)",
+                 static_cast<unsigned long long>(next),
+                 static_cast<unsigned long long>(total_pages));
+    global_ = Region{"global", PageRange{next, total_pages - next}};
+}
+
+const AddressSpaceLayout::Region &
+AddressSpaceLayout::localOf(const std::string &owner) const
+{
+    for (const auto &r : locals_) {
+        if (r.owner == owner)
+            return r;
+    }
+    K2_FATAL("no local region for kernel '%s'", owner.c_str());
+}
+
+} // namespace kern
+} // namespace k2

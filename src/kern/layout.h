@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The unified kernel virtual address space of K2 (paper §6.1, Fig. 4).
+ *
+ * Physical memory is carved into per-kernel *local regions* (kernel
+ * code and statically allocated private/independent state) followed by
+ * one *global region* (shared OS state and all dynamically allocated
+ * pages). Local regions are populated from the start of physical
+ * memory -- shadow kernel first, then the main kernel -- so the main
+ * kernel's local region sits directly before the global region and the
+ * main kernel sees no memory hole.
+ *
+ * Both kernels use the same direct-map offset, so any shared memory
+ * object has the identical virtual address in both kernels, and
+ * private objects live in non-overlapping ranges.
+ */
+
+#ifndef K2_KERN_LAYOUT_H
+#define K2_KERN_LAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kern/types.h"
+
+namespace k2 {
+namespace kern {
+
+class AddressSpaceLayout
+{
+  public:
+    struct Region
+    {
+        std::string owner;
+        PageRange pages;
+        bool operator==(const Region &) const = default;
+    };
+
+    /**
+     * @param page_bytes Page size.
+     * @param total_pages Total physical pages.
+     * @param locals Local region sizes in pages, in placement order
+     *        (shadow kernels first, the main kernel last). Each is
+     *        rounded up to 16 MB alignment so the global region starts
+     *        on a balloon page-block boundary.
+     */
+    AddressSpaceLayout(std::size_t page_bytes, std::uint64_t total_pages,
+                       std::vector<std::pair<std::string,
+                                             std::uint64_t>> locals);
+
+    std::size_t numLocals() const { return locals_.size(); }
+    const Region &local(std::size_t i) const { return locals_.at(i); }
+
+    /** Find a kernel's local region by owner name. */
+    const Region &localOf(const std::string &owner) const;
+
+    /** The shared global region. */
+    const Region &global() const { return global_; }
+
+    /** The direct-map virtual base (identical in every kernel). */
+    std::uint64_t virtBase() const { return kVirtBase; }
+
+    /** Kernel virtual address of a physical page. */
+    std::uint64_t
+    vaddrOf(Pfn pfn) const
+    {
+        return kVirtBase + pfn * pageBytes_;
+    }
+
+    /** Physical page of a kernel virtual address. */
+    Pfn
+    pfnOf(std::uint64_t vaddr) const
+    {
+        return (vaddr - kVirtBase) / pageBytes_;
+    }
+
+    /** True if @p pfn lies in the global region. */
+    bool isGlobal(Pfn pfn) const { return global_.pages.contains(pfn); }
+
+    std::size_t pageBytes() const { return pageBytes_; }
+    std::uint64_t totalPages() const { return totalPages_; }
+
+  private:
+    static constexpr std::uint64_t kVirtBase = 0xC0000000ull;
+
+    std::size_t pageBytes_;
+    std::uint64_t totalPages_;
+    std::vector<Region> locals_;
+    Region global_;
+};
+
+} // namespace kern
+} // namespace k2
+
+#endif // K2_KERN_LAYOUT_H

@@ -1,0 +1,149 @@
+#include "kern/thread.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include "kern/kernel.h"
+#include "kern/sched.h"
+
+namespace k2 {
+namespace kern {
+
+std::size_t
+Process::numNightWatch() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(threads_.begin(), threads_.end(),
+                      [](const Thread *t) { return t->isNightWatch(); }));
+}
+
+Thread::Thread(Kernel &kernel, Process *proc, Tid tid, std::string name,
+               ThreadKind kind, Body body)
+    : kernel_(kernel), process_(proc), tid_(tid), name_(std::move(name)),
+      kind_(kind), body_(std::move(body)), doneEvent_(kernel.engine())
+{
+    // Start the wrapper coroutine immediately; it runs to the first
+    // park() so the thread is dispatchable before the constructor
+    // returns.
+    auto task = run();
+    auto handle = task.release();
+    handle.promise().setDetached();
+    handle.resume();
+    K2_ASSERT(parked_);
+}
+
+sim::Engine &
+Thread::engine() const
+{
+    return kernel_.engine();
+}
+
+Scheduler &
+Thread::scheduler() const
+{
+    return kernel_.scheduler();
+}
+
+soc::Core &
+Thread::core()
+{
+    K2_ASSERT(core_ != nullptr);
+    return *core_;
+}
+
+sim::Task<void>
+Thread::run()
+{
+    co_await park(); // wait for the first dispatch
+    co_await body_(*this);
+    state_ = State::Done;
+    doneEvent_.set();
+    co_await park(); // hand the core back; reaped by the scheduler
+}
+
+void
+Thread::reap()
+{
+    K2_ASSERT(state_ == State::Done);
+    if (parked_) {
+        auto h = std::exchange(parked_, nullptr);
+        h.destroy();
+    }
+}
+
+sim::Task<void>
+Thread::parkAs(State next)
+{
+    K2_ASSERT(state_ == State::Running);
+    state_ = next;
+    co_await park();
+    K2_ASSERT(state_ == State::Running);
+}
+
+bool
+Thread::shouldPark() const
+{
+    if (suspended_)
+        return true;
+    if (engine().now() - dispatchedAt_ < scheduler().quantum())
+        return false;
+    return scheduler().shouldPreempt(*this);
+}
+
+sim::Task<void>
+Thread::exec(std::uint64_t instructions)
+{
+    while (instructions > 0) {
+        const std::uint64_t quantum = scheduler().quantumInstr(core());
+        const std::uint64_t slice = std::min(instructions, quantum);
+        co_await core().exec(slice);
+        instructions -= slice;
+        if (instructions > 0 && shouldPark())
+            co_await parkAs(State::Ready);
+    }
+    if (shouldPark())
+        co_await parkAs(State::Ready);
+}
+
+sim::Task<void>
+Thread::execTime(sim::Duration d)
+{
+    co_await core().execTime(d);
+}
+
+sim::Task<void>
+Thread::sleep(sim::Duration d)
+{
+    engine().after(d, [this]() { scheduler().makeReady(*this); });
+    co_await parkAs(State::Blocked);
+}
+
+sim::Task<void>
+Thread::watchAndReady(sim::Event &ev)
+{
+    co_await ev.wait();
+    scheduler().makeReady(*this);
+}
+
+sim::Task<void>
+Thread::wait(sim::Event &ev)
+{
+    engine().spawn(watchAndReady(ev));
+    co_await parkAs(State::Blocked);
+}
+
+sim::Task<void>
+Thread::yield()
+{
+    co_await parkAs(State::Ready);
+}
+
+// Mutable engine access for shouldPark (const path).
+bool
+threadDebugIsParked(const Thread &t)
+{
+    return t.state() != Thread::State::Running;
+}
+
+} // namespace kern
+} // namespace k2

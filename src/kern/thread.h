@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Simulated kernel threads and processes.
+ *
+ * A Thread's body is a coroutine that runs *on* a simulated core under
+ * a Scheduler. Control transfers between the scheduler's per-core loop
+ * and the thread body use symmetric coroutine handoff: the core loop
+ * `co_await t->dispatch()` resumes the thread where it parked; blocking
+ * operations inside the body `co_await park()` to hand the core back.
+ *
+ * Inside a body, all interaction with the platform goes through the
+ * Thread's context methods (exec, execTime, sleep, wait, yield), which
+ * charge time/energy to the current core and cooperate with the
+ * scheduler for preemption. Thread code must NOT await raw sim
+ * primitives directly -- that would block the simulated core without
+ * the scheduler knowing.
+ */
+
+#ifndef K2_KERN_THREAD_H
+#define K2_KERN_THREAD_H
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "kern/types.h"
+
+namespace k2 {
+namespace soc {
+class Core;
+}
+
+namespace kern {
+
+class Kernel;
+class Scheduler;
+class Thread;
+
+/** A process: a container of threads sharing one address space. */
+class Process
+{
+  public:
+    Process(Pid pid, std::string name)
+        : pid_(pid), name_(std::move(name))
+    {}
+
+    Pid pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    const std::vector<Thread *> &threads() const { return threads_; }
+    void addThread(Thread *t) { threads_.push_back(t); }
+
+    /** Number of NightWatch threads in this process. */
+    std::size_t numNightWatch() const;
+
+  private:
+    Pid pid_;
+    std::string name_;
+    std::vector<Thread *> threads_;
+};
+
+class Thread
+{
+  public:
+    enum class State { Ready, Running, Blocked, Done };
+
+    /** The thread's simulated code. */
+    using Body = std::function<sim::Task<void>(Thread &)>;
+
+    Thread(Kernel &kernel, Process *proc, Tid tid, std::string name,
+           ThreadKind kind, Body body);
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    /** @name Identity. @{ */
+    Tid tid() const { return tid_; }
+    const std::string &name() const { return name_; }
+    Process *process() const { return process_; }
+    ThreadKind kind() const { return kind_; }
+    bool isNightWatch() const { return kind_ == ThreadKind::NightWatch; }
+    Kernel &kernel() { return kernel_; }
+    /** @} */
+
+    State state() const { return state_; }
+    bool done() const { return state_ == State::Done; }
+
+    /** Latched event set when the body finishes. */
+    sim::Event &doneEvent() { return doneEvent_; }
+
+    /** The core currently (or last) running this thread. */
+    soc::Core &core();
+
+    /** @name Context API (call only from inside the body). @{ */
+
+    /** Execute @p instructions of work, with preemption at quantum
+     *  boundaries. */
+    sim::Task<void> exec(std::uint64_t instructions);
+
+    /** Execute fixed-duration active work (device register IO). */
+    sim::Task<void> execTime(sim::Duration d);
+
+    /** Block for a simulated duration without occupying the core. */
+    sim::Task<void> sleep(sim::Duration d);
+
+    /** Block until @p ev is set/pulsed. */
+    sim::Task<void> wait(sim::Event &ev);
+
+    /** Offer the core to another ready thread. */
+    sim::Task<void> yield();
+
+    /** @} */
+
+    /** @name Scheduler interface. @{ */
+
+    /** Awaitable used by the core loop: runs the thread until it
+     *  parks. */
+    auto
+    dispatch()
+    {
+        struct Awaiter
+        {
+            Thread &t;
+
+            bool await_ready() const { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> h)
+            {
+                t.schedHandle_ = h;
+                return std::exchange(t.parked_, nullptr);
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+    bool suspended() const { return suspended_; }
+    void setSuspended(bool s) { suspended_ = s; }
+
+    /** True while a preemption/suspension check should park. */
+    bool shouldPark() const;
+
+    /** Destroy the parked coroutine frame of a Done thread. */
+    void reap();
+
+    /** @} */
+
+  private:
+    friend class Scheduler;
+
+    /** Awaitable used inside the body: hand the core back. */
+    auto
+    park()
+    {
+        struct Awaiter
+        {
+            Thread &t;
+
+            bool await_ready() const { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> h)
+            {
+                t.parked_ = h;
+                auto sched = std::exchange(t.schedHandle_, nullptr);
+                return sched ? sched : std::noop_coroutine();
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Top-level coroutine that wraps the body. */
+    sim::Task<void> run();
+
+    /** Park with the given next state; scheduler requeues if Ready. */
+    sim::Task<void> parkAs(State next);
+
+    /** Detached helper: readies the thread when @p ev fires. */
+    sim::Task<void> watchAndReady(sim::Event &ev);
+
+    sim::Engine &engine() const;
+    Scheduler &scheduler() const;
+
+    Kernel &kernel_;
+    Process *process_;
+    Tid tid_;
+    std::string name_;
+    ThreadKind kind_;
+    Body body_;
+    State state_ = State::Ready;
+    bool suspended_ = false;
+    bool queued_ = false;   //!< In the runqueue or gated list.
+    bool everRan_ = false;  //!< Has been made ready at least once.
+    sim::Time dispatchedAt_ = 0;
+    soc::Core *core_ = nullptr;
+    std::coroutine_handle<> parked_;
+    std::coroutine_handle<> schedHandle_;
+    sim::Event doneEvent_;
+};
+
+} // namespace kern
+} // namespace k2
+
+#endif // K2_KERN_THREAD_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Common kernel-layer types.
+ */
+
+#ifndef K2_KERN_TYPES_H
+#define K2_KERN_TYPES_H
+
+#include <cstdint>
+
+namespace k2 {
+namespace kern {
+
+/** Process identifier (global across the single system image). */
+using Pid = std::uint32_t;
+
+/** Thread identifier (global across the single system image). */
+using Tid = std::uint32_t;
+
+/** Physical page frame number. */
+using Pfn = std::uint64_t;
+
+/** A contiguous range of physical pages. */
+struct PageRange
+{
+    Pfn first = 0;
+    std::uint64_t count = 0;
+
+    bool
+    contains(Pfn p) const
+    {
+        return p >= first && p < first + count;
+    }
+
+    Pfn end() const { return first + count; }
+    bool empty() const { return count == 0; }
+    bool operator==(const PageRange &) const = default;
+};
+
+/** Kinds of application threads (paper §8). */
+enum class ThreadKind
+{
+    Normal,     //!< Performance-critical; runs on the strong domain.
+    NightWatch, //!< Light task; pinned to the weak domain.
+};
+
+} // namespace kern
+} // namespace k2
+
+#endif // K2_KERN_TYPES_H

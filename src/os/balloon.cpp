@@ -1,0 +1,55 @@
+#include "os/balloon.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+BalloonDriver::BalloonDriver(kern::Kernel &kernel)
+    : BalloonDriver(kernel, CostModel{})
+{}
+
+BalloonDriver::BalloonDriver(kern::Kernel &kernel, CostModel costs)
+    : kernel_(kernel), costs_(costs)
+{}
+
+sim::Task<void>
+BalloonDriver::deflate(kern::Thread &t, kern::PageRange block)
+{
+    K2_ASSERT(block.count == kBlockPages);
+    const sim::Time start = kernel_.engine().now();
+
+    const std::uint64_t work = kernel_.pageAllocator().addFreeRange(block) +
+                               costs_.workPerPageDeflate * block.count;
+    co_await t.execTime(costs_.platformPerPageDeflate * block.count);
+    co_await kernel_.chargeKernelWork(t, work);
+
+    deflates.inc();
+    deflateUs.sample(sim::toUsec(kernel_.engine().now() - start));
+}
+
+sim::Task<bool>
+BalloonDriver::inflate(kern::Thread &t, kern::PageRange block)
+{
+    K2_ASSERT(block.count == kBlockPages);
+    const sim::Time start = kernel_.engine().now();
+
+    auto res = kernel_.pageAllocator().reclaimRange(block);
+    if (!res.ok) {
+        failedInflates.inc();
+        co_return false;
+    }
+
+    co_await t.execTime(costs_.platformPerPageInflate * block.count +
+                        costs_.perMigratedPage * res.migrated);
+    co_await kernel_.chargeKernelWork(
+        t, res.work + costs_.workPerPageInflate * block.count);
+
+    inflates.inc();
+    migratedPages.sample(static_cast<double>(res.migrated));
+    inflateUs.sample(sim::toUsec(kernel_.engine().now() - start));
+    co_return true;
+}
+
+} // namespace os
+} // namespace k2

@@ -1,0 +1,312 @@
+#include "os/dsm.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+namespace {
+
+/** The Get message carries the access kind in the top sequence bit. */
+constexpr std::uint32_t kRwFlag = 0x100;
+
+std::uint32_t
+packSeq(std::uint32_t seq, Access rw)
+{
+    return (seq & 0xFF) | (rw == Access::Write ? kRwFlag : 0);
+}
+
+Access
+unpackRw(std::uint32_t seq)
+{
+    return (seq & kRwFlag) ? Access::Write : Access::Read;
+}
+
+} // namespace
+
+Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
+         std::uint64_t num_pages, Protocol protocol)
+    : Dsm(soc, kernels, num_pages, protocol, CostModel{})
+{}
+
+Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
+         std::uint64_t num_pages, Protocol protocol, CostModel costs)
+    : soc_(soc), kernels_(kernels), numPages_(num_pages),
+      protocol_(protocol), costs_(costs)
+{
+    for (KernelIdx k = 0; k < 2; ++k) {
+        K2_ASSERT(kernels_[k] != nullptr);
+        mmus_[k] = std::make_unique<soc::Mmu>(
+            kernels_[k]->domain().spec().core);
+    }
+}
+
+kern::PageRange
+Dsm::allocRegion(std::uint64_t pages)
+{
+    if (nextRegionPage_ + pages > numPages_)
+        K2_FATAL("DSM region space exhausted (%llu + %llu > %llu)",
+                 static_cast<unsigned long long>(nextRegionPage_),
+                 static_cast<unsigned long long>(pages),
+                 static_cast<unsigned long long>(numPages_));
+    kern::PageRange r{nextRegionPage_, pages};
+    nextRegionPage_ += pages;
+    return r;
+}
+
+Dsm::PageInfo &
+Dsm::info(std::uint64_t page)
+{
+    K2_ASSERT(page < numPages_);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        auto pi = std::make_unique<PageInfo>();
+        pi->grant = std::make_unique<sim::Event>(soc_.engine());
+        pi->settled = std::make_unique<sim::Event>(soc_.engine());
+        it = pages_.emplace(page, std::move(pi)).first;
+    }
+    return *it->second;
+}
+
+KernelIdx
+Dsm::idxOf(const kern::Kernel &k) const
+{
+    for (KernelIdx i = 0; i < 2; ++i) {
+        if (kernels_[i] == &k)
+            return i;
+    }
+    K2_PANIC("kernel '%s' is not part of this DSM", k.name().c_str());
+}
+
+bool
+Dsm::satisfies(PState s, Access rw) const
+{
+    if (s == PState::Exclusive)
+        return true;
+    if (protocol_ == Protocol::ThreeState && s == PState::Shared)
+        return rw == Access::Read;
+    return false;
+}
+
+bool
+Dsm::isLocallyValid(KernelIdx kernel, std::uint64_t page, Access rw) const
+{
+    auto it = pages_.find(page);
+    const PState s = (it == pages_.end())
+        ? (kernel == 0 ? PState::Exclusive : PState::Invalid)
+        : it->second->state[kernel];
+    return const_cast<Dsm *>(this)->satisfies(s, rw);
+}
+
+sim::Task<void>
+Dsm::demote(std::uint64_t page, soc::Core &core, KernelIdx k)
+{
+    PageInfo &pi = info(page);
+    if (pi.demoted)
+        co_return;
+    pi.demoted = true;
+    demotions_.inc();
+    // Replacing the local large-grain mapping with 4 KB entries: one
+    // page-table update on the faulting side. The remote side's
+    // mapping is rewritten when it services/faults next; its cost is
+    // folded into the protection updates charged there.
+    co_await core.execTime(mmus_[k]->protectionUpdate(page));
+}
+
+sim::Task<void>
+Dsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
+            Access rw)
+{
+    const KernelIdx k = idxOf(kern);
+    PageInfo &pi = info(page);
+
+    // Address translation through the local MMU at the page's current
+    // mapping grain.
+    const auto grain =
+        pi.demoted ? soc::MapGrain::Page4K : soc::MapGrain::Section1M;
+    const sim::Duration walk = mmus_[k]->translate(page, grain);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        // Serialise with a fault already in flight on this kernel.
+        while (pi.outstanding[k]) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        if (satisfies(pi.state[k], rw))
+            co_return;
+
+        // ---- Full fault path (Table 5). ----
+        FaultStats &st = stats_[k];
+        st.faults.inc();
+        if (soc_.engine().tracer().on(sim::TraceCat::Dsm)) {
+            soc_.engine().trace(
+                sim::TraceCat::Dsm,
+                sim::strPrintf("%s faults on page %llu (%s)",
+                               kernels_[k]->name().c_str(),
+                               static_cast<unsigned long long>(page),
+                               rw == Access::Write ? "W" : "R"));
+        }
+        pi.outstanding[k] = true;
+        pi.upgrade[k] = (pi.state[k] == PState::Shared);
+        pi.raced[k] = false;
+
+        if (!pi.demoted)
+            co_await demote(page, core, k);
+
+        const sim::Time t0 = soc_.engine().now();
+        sim::Duration entry = costs_.faultEntry[k];
+        if (protocol_ == Protocol::ThreeState && k == 1)
+            entry += mmus_[k]->readTrackPenalty();
+        co_await core.execTime(entry);
+        const sim::Time t1 = soc_.engine().now();
+
+        co_await core.execTime(costs_.protocolExec[k]);
+        const sim::Time t2 = soc_.engine().now();
+
+        const std::uint32_t seq = seq_++;
+        messages_.inc();
+        kernels_[k]->sendMail(
+            kernels_[1 - k]->domainId(),
+            encodeMessage(MsgType::GetExclusive, page & kPayloadMask,
+                          packSeq(seq, rw)));
+
+        // Spin (synchronously -- the faulting context may be an
+        // interrupt handler) until the grant arrives.
+        pi.grant->reset();
+        core.pinActive();
+        co_await pi.grant->wait();
+        core.unpinActive();
+        const sim::Time t3 = soc_.engine().now();
+
+        co_await core.execTime(costs_.exitRefill[k] +
+                               mmus_[k]->protectionUpdate(page));
+        const sim::Time t4 = soc_.engine().now();
+
+        const bool raced = pi.raced[k];
+        if (!raced) {
+            if (protocol_ == Protocol::TwoState || rw == Access::Write) {
+                pi.state[k] = PState::Exclusive;
+            } else {
+                // Read fault under MSI: both sides end up Shared (the
+                // service side downgraded itself).
+                pi.state[k] = PState::Shared;
+            }
+        }
+        pi.outstanding[k] = false;
+        pi.upgrade[k] = false;
+        pi.settled->pulse();
+
+        st.localFaultUs.sample(sim::toUsec(t1 - t0));
+        st.protocolUs.sample(sim::toUsec(t2 - t1));
+        st.serviceUs.sample(sim::toUsec(pi.lastServiceTime));
+        st.commUs.sample(sim::toUsec(t3 - t2) -
+                         sim::toUsec(pi.lastServiceTime));
+        st.exitUs.sample(sim::toUsec(t4 - t3));
+        st.totalUs.sample(sim::toUsec(t4 - t0));
+
+        if (!raced)
+            co_return;
+        // Our copy was invalidated by a concurrent upgrade from the
+        // other kernel while we waited; retry the fault.
+    }
+}
+
+sim::Task<void>
+Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
+                std::uint32_t seq)
+{
+    (void)seq;
+    PageInfo &pi = info(page);
+
+    // The main kernel handles coherence requests in a bottom half and
+    // defers further under load; the shadow kernel serves immediately.
+    if (owner == 0) {
+        sim::Duration defer = costs_.mainBottomHalf;
+        if (kernels_[0]->scheduler().runqueueDepth() > 0)
+            defer += costs_.mainLoadedDefer;
+        co_await soc_.engine().sleep(defer);
+    }
+
+    // Serialise with a local fault in flight, except for a concurrent
+    // Shared->Exclusive upgrade race, which we resolve by invalidating
+    // the local copy and letting the local fault retry.
+    while (pi.outstanding[owner] && !pi.upgrade[owner]) {
+        co_await pi.settled->wait();
+    }
+
+    // Pick a core of the owning domain to run the service on.
+    soc::CoherenceDomain &dom = kernels_[owner]->domain();
+    soc::Core *core = &dom.core(0);
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        if (dom.core(i).state() == soc::PowerState::Idle) {
+            core = &dom.core(i);
+            break;
+        }
+    }
+    co_await core->ensureAwake();
+
+    const sim::Time t_start = soc_.engine().now();
+    const bool dirty = pi.state[owner] == PState::Exclusive;
+    sim::Duration cost = costs_.serviceBase[owner] +
+                         mmus_[owner]->protectionUpdate(page);
+    if (dirty)
+        cost += dom.flushTime(soc_.pageBytes());
+    co_await core->execTime(cost);
+
+    if (protocol_ == Protocol::ThreeState && rw == Access::Read) {
+        // Downgrade: keep a clean Shared copy.
+        pi.state[owner] =
+            (pi.state[owner] == PState::Invalid) ? PState::Invalid
+                                                 : PState::Shared;
+    } else {
+        if (pi.outstanding[owner] && pi.upgrade[owner])
+            pi.raced[owner] = true;
+        pi.state[owner] = PState::Invalid;
+    }
+    pi.lastServiceTime = soc_.engine().now() - t_start;
+    if (soc_.engine().tracer().on(sim::TraceCat::Dsm)) {
+        soc_.engine().trace(
+            sim::TraceCat::Dsm,
+            sim::strPrintf("%s services page %llu (%s)",
+                           kernels_[owner]->name().c_str(),
+                           static_cast<unsigned long long>(page),
+                           dirty ? "flush" : "clean"));
+    }
+
+    messages_.inc();
+    kernels_[owner]->sendMail(
+        kernels_[1 - owner]->domainId(),
+        encodeMessage(MsgType::PutExclusive, page & kPayloadMask,
+                      packSeq(seq_++, rw)));
+}
+
+sim::Task<void>
+Dsm::handleMail(KernelIdx to_kernel, Message msg, soc::Core &core)
+{
+    const std::uint64_t page = msg.payload;
+    switch (msg.type) {
+      case MsgType::GetExclusive:
+        // Service as a separate task so the mailbox ISR can keep
+        // draining (the main kernel's bottom-half behaviour); the
+        // shadow kernel's zero deferral makes it effectively
+        // immediate.
+        soc_.engine().spawn(
+            serviceGet(to_kernel, page, unpackRw(msg.seq), msg.seq));
+        co_return;
+      case MsgType::PutExclusive: {
+        // Grant: wake the spinning requester.
+        co_await core.execTime(soc_.costs().busAccess);
+        info(page).grant->pulse();
+        co_return;
+      }
+      default:
+        K2_PANIC("DSM received non-DSM message type %u",
+                 static_cast<unsigned>(msg.type));
+    }
+}
+
+} // namespace os
+} // namespace k2

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The K2 software distributed shared memory (paper §6.3).
+ *
+ * The DSM keeps shadowed-service state coherent between the main
+ * (strong-domain) and shadow (weak-domain) kernels under sequential
+ * consistency, maintaining the one-writer invariant at 4 KB page
+ * granularity.
+ *
+ * Default protocol: the paper's simple two-state scheme. Each kernel's
+ * copy of a page is Valid or Invalid; before touching an Invalid page
+ * a kernel sends GetExclusive to the owner and spins (synchronously --
+ * interrupt handlers cannot sleep) until PutExclusive arrives; the
+ * owner flushes and invalidates the page from its cache before
+ * granting. An alternative three-state (MSI) protocol with read
+ * sharing is implemented for the §6.3 ablation; it pays the Cortex-M3
+ * cascaded-MMU read-tracking penalty on every weak-kernel fault.
+ *
+ * Asymmetric priorities (favouring the strong domain): the main kernel
+ * services GetExclusive in a bottom half, deferring further when
+ * loaded; the shadow kernel services requests before any other pending
+ * interrupt.
+ */
+
+#ifndef K2_OS_DSM_H
+#define K2_OS_DSM_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/stats.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "soc/mmu.h"
+#include "soc/soc.h"
+#include "kern/kernel.h"
+#include "os/messages.h"
+#include "os/system.h"
+
+namespace k2 {
+namespace os {
+
+class Dsm
+{
+  public:
+    enum class Protocol { TwoState, ThreeState };
+
+    /**
+     * Per-fault cost constants, indexed by kernel (0 = main on the
+     * strong domain, 1 = shadow on the weak domain). Defaults are
+     * calibrated against Table 5 of the paper.
+     */
+    struct CostModel
+    {
+        /** Exception entry + fault decoding on the faulting kernel. */
+        std::array<sim::Duration, 2> faultEntry{sim::usec(3),
+                                                sim::usec(17)};
+        /** Coherence-protocol bookkeeping on the faulting kernel. */
+        std::array<sim::Duration, 2> protocolExec{sim::usec(2),
+                                                  sim::usec(13)};
+        /** Request servicing on the *owning* kernel, before the cache
+         *  flush (which is charged separately from the domain spec). */
+        std::array<sim::Duration, 2> serviceBase{0, sim::usec(8)};
+        /** Fault exit + cache refill on the faulting kernel. */
+        std::array<sim::Duration, 2> exitRefill{sim::usec(18),
+                                                sim::usec(2)};
+        /** Bottom-half delay before the main kernel services. */
+        sim::Duration mainBottomHalf = sim::usec(4);
+        /** Extra deferral when the main kernel is under load. */
+        sim::Duration mainLoadedDefer = sim::usec(30);
+    };
+
+    /** Per-sender fault statistics (the Table 5 breakdown). */
+    struct FaultStats
+    {
+        sim::Counter faults;
+        sim::Accumulator localFaultUs;
+        sim::Accumulator protocolUs;
+        sim::Accumulator commUs;
+        sim::Accumulator serviceUs;
+        sim::Accumulator exitUs;
+        sim::Accumulator totalUs;
+    };
+
+    /**
+     * @param soc The platform.
+     * @param kernels Main kernel (index 0, strong domain) and shadow
+     *        kernel (index 1, weak domain).
+     * @param num_pages Number of DSM-managed page keys available.
+     */
+    Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
+        std::uint64_t num_pages, Protocol protocol = Protocol::TwoState);
+    Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
+        std::uint64_t num_pages, Protocol protocol, CostModel costs);
+
+    Protocol protocol() const { return protocol_; }
+
+    /** Reserve a range of DSM page keys for a shared region. */
+    kern::PageRange allocRegion(std::uint64_t pages);
+
+    /**
+     * Access a DSM page from @p kern, charging costs to @p core.
+     *
+     * Satisfied locally if this kernel's copy permits the access;
+     * otherwise takes the full fault path (messages, remote flush,
+     * spin). Callable from thread or interrupt context.
+     */
+    sim::Task<void> access(kern::Kernel &kern, soc::Core &core,
+                           std::uint64_t page, Access rw);
+
+    /**
+     * Mail dispatch: handle a DSM message received by @p to_kernel.
+     * Called from the mailbox ISR.
+     */
+    sim::Task<void> handleMail(KernelIdx to_kernel, Message msg,
+                               soc::Core &core);
+
+    /** @name Introspection for tests and benches. @{ */
+
+    /** True if @p kernel's copy of @p page permits @p rw locally. */
+    bool isLocallyValid(KernelIdx kernel, std::uint64_t page,
+                        Access rw) const;
+
+    const FaultStats &faultStats(KernelIdx sender) const
+    {
+        return stats_[sender];
+    }
+
+    FaultStats &mutableFaultStats(KernelIdx sender)
+    {
+        return stats_[sender];
+    }
+
+    /** Total coherence messages sent. */
+    std::uint64_t messagesSent() const { return messages_.value(); }
+
+    /** Pages demoted to 4 KB mapping grain so far (§6.3 footprint
+     *  optimisation). */
+    std::uint64_t pagesDemoted() const { return demotions_.value(); }
+
+    /** Per-kernel MMU model (exposed for TLB statistics). */
+    soc::Mmu &mmu(KernelIdx k) { return *mmus_[k]; }
+
+    /** @} */
+
+  private:
+    /** Per-kernel page state. */
+    enum class PState : std::uint8_t { Invalid, Shared, Exclusive };
+
+    struct PageInfo
+    {
+        std::array<PState, 2> state{PState::Exclusive, PState::Invalid};
+        bool demoted = false;
+        std::array<bool, 2> outstanding{false, false};
+        std::array<bool, 2> upgrade{false, false}; //!< MSI upgrade race.
+        std::array<bool, 2> raced{false, false};   //!< Lost an upgrade.
+        std::unique_ptr<sim::Event> grant;   //!< Pulsed on PutExclusive.
+        std::unique_ptr<sim::Event> settled; //!< Pulsed when a local
+                                             //!< fault fully completes.
+        sim::Duration lastServiceTime = 0;   //!< For attribution only.
+    };
+
+    PageInfo &info(std::uint64_t page);
+    KernelIdx idxOf(const kern::Kernel &k) const;
+
+    bool satisfies(PState s, Access rw) const;
+
+    /** The owner-side servicing of a Get request (possibly deferred). */
+    sim::Task<void> serviceGet(KernelIdx owner, std::uint64_t page,
+                               Access rw, std::uint32_t seq);
+
+    sim::Task<void> demote(std::uint64_t page, soc::Core &core,
+                           KernelIdx k);
+
+    soc::Soc &soc_;
+    std::array<kern::Kernel *, 2> kernels_;
+    std::uint64_t numPages_;
+    std::uint64_t nextRegionPage_ = 0;
+    Protocol protocol_;
+    CostModel costs_;
+    std::array<std::unique_ptr<soc::Mmu>, 2> mmus_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
+    std::array<FaultStats, 2> stats_;
+    sim::Counter messages_;
+    sim::Counter demotions_;
+    std::uint32_t seq_ = 0;
+};
+
+} // namespace os
+} // namespace k2
+
+#endif // K2_OS_DSM_H

@@ -1,0 +1,75 @@
+#include "os/irq_router.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+IrqRouter::IrqRouter(soc::Soc &soc, kern::Kernel &main,
+                     kern::Kernel &shadow)
+    : soc_(soc), main_(main), shadow_(shadow)
+{}
+
+void
+IrqRouter::manageLine(soc::IrqLine line)
+{
+    if (!main_.domain().irqCtrl().hasHandler(line) ||
+        !shadow_.domain().irqCtrl().hasHandler(line)) {
+        K2_FATAL("IRQ line %u must have handlers in both kernels before "
+                 "being managed", line);
+    }
+    lines_.push_back(line);
+    // Apply the current routing to the new line.
+    main_.domain().irqCtrl().setMasked(line, routedToWeak_);
+    shadow_.domain().irqCtrl().setMasked(line, !routedToWeak_);
+}
+
+void
+IrqRouter::applyRouting(bool to_weak)
+{
+    if (to_weak == routedToWeak_)
+        return;
+    routedToWeak_ = to_weak;
+    reroutes_.inc();
+    if (soc_.engine().tracer().on(sim::TraceCat::Irq)) {
+        soc_.engine().trace(
+            sim::TraceCat::Irq,
+            sim::strPrintf("shared IRQs rerouted to %s domain",
+                           to_weak ? "weak" : "strong"));
+    }
+    if (to_weak) {
+        // Unmask on the weak domain first so no interrupt is lost in
+        // the window, then mask on the strong domain.
+        for (const auto line : lines_)
+            shadow_.domain().irqCtrl().setMasked(line, false);
+        for (const auto line : lines_)
+            main_.domain().irqCtrl().setMasked(line, true);
+    } else {
+        for (const auto line : lines_)
+            main_.domain().irqCtrl().setMasked(line, false);
+        for (const auto line : lines_)
+            shadow_.domain().irqCtrl().setMasked(line, true);
+    }
+}
+
+void
+IrqRouter::onStrongStateChange()
+{
+    applyRouting(main_.domain().allInactive());
+}
+
+void
+IrqRouter::install()
+{
+    K2_ASSERT(!installed_);
+    installed_ = true;
+    auto &dom = main_.domain();
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        dom.core(i).addStateListener(
+            [this](soc::PowerState) { onStrongStateChange(); });
+    }
+    applyRouting(dom.allInactive());
+}
+
+} // namespace os
+} // namespace k2

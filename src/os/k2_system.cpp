@@ -1,0 +1,254 @@
+#include "os/k2_system.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+namespace {
+
+/** SharedRegion backed by the K2 DSM. */
+class DsmSharedRegion : public SharedRegion
+{
+  public:
+    DsmSharedRegion(std::string name, Dsm &dsm, kern::PageRange keys)
+        : SharedRegion(std::move(name), keys.count), dsm_(dsm),
+          keys_(keys)
+    {}
+
+    sim::Task<void>
+    touch(kern::Kernel &kern, soc::Core &core, std::uint64_t page_idx,
+          Access rw) override
+    {
+        K2_ASSERT(page_idx < keys_.count);
+        co_await dsm_.access(kern, core, keys_.first + page_idx, rw);
+    }
+
+  private:
+    Dsm &dsm_;
+    kern::PageRange keys_;
+};
+
+} // namespace
+
+K2System::K2System(K2Config cfg)
+    : cfg_(std::move(cfg))
+{
+    soc_ = std::make_unique<soc::Soc>(engine_, cfg_.soc);
+
+    layout_ = std::make_unique<kern::AddressSpaceLayout>(
+        soc_->pageBytes(), soc_->numPages(),
+        std::vector<std::pair<std::string, std::uint64_t>>{
+            {"shadow", cfg_.shadowLocalPages},
+            {"main", cfg_.mainLocalPages}});
+
+    main_ = std::make_unique<kern::Kernel>(*soc_, soc::kStrongDomain,
+                                           "main");
+    shadow_ = std::make_unique<kern::Kernel>(*soc_, soc::kWeakDomain,
+                                             "shadow");
+    main_->boot();
+    shadow_->boot();
+
+    dsm_ = std::make_unique<Dsm>(
+        *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
+        cfg_.dsmPages, cfg_.dsmProtocol, cfg_.dsmCosts);
+
+    meta_ = std::make_unique<MetaLevelManager>(
+        *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
+        layout_->global().pages, cfg_.meta);
+    meta_->bootstrapBlocks(0, cfg_.initialMainBlocks);
+    meta_->bootstrapBlocks(1, cfg_.initialShadowBlocks);
+    meta_->start();
+
+    nightWatch_ = std::make_unique<NightWatch>(*soc_, *main_, *shadow_);
+    nightWatch_->install();
+
+    irqRouter_ = std::make_unique<IrqRouter>(*soc_, *main_, *shadow_);
+    irqRouter_->install();
+
+    crossIsa_ = std::make_unique<CrossIsaDispatcher>(*shadow_);
+
+    ioMapper_ = std::make_unique<IoMapper>(
+        *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
+        *layout_);
+
+    services_ = kern::defaultK2Registry();
+
+    main_->setMailHandler(
+        [this](soc::Mail mail, soc::Core &core) {
+            return dispatchMail(0, mail, core);
+        });
+    shadow_->setMailHandler(
+        [this](soc::Mail mail, soc::Core &core) {
+            return dispatchMail(1, mail, core);
+        });
+}
+
+K2System::~K2System() = default;
+
+kern::Kernel &
+K2System::kernelAt(soc::DomainId domain)
+{
+    if (domain == soc::kStrongDomain)
+        return *main_;
+    if (domain == soc::kWeakDomain)
+        return *shadow_;
+    K2_PANIC("no kernel for domain %u", domain);
+}
+
+std::vector<kern::Kernel *>
+K2System::kernels()
+{
+    return {main_.get(), shadow_.get()};
+}
+
+std::unique_ptr<SharedRegion>
+K2System::createSharedRegion(std::string name, std::uint64_t pages)
+{
+    return std::make_unique<DsmSharedRegion>(std::move(name), *dsm_,
+                                             dsm_->allocRegion(pages));
+}
+
+kern::Thread *
+K2System::spawnNormal(kern::Process &proc, std::string name,
+                      kern::Thread::Body body)
+{
+    return main_->spawnThread(&proc, std::move(name),
+                              kern::ThreadKind::Normal, std::move(body));
+}
+
+kern::Thread *
+K2System::spawnNightWatch(kern::Process &proc, std::string name,
+                          kern::Thread::Body body)
+{
+    return nightWatch_->spawn(proc, std::move(name), std::move(body));
+}
+
+sim::Task<kern::PageRange>
+K2System::allocPages(kern::Thread &t, unsigned order,
+                     kern::Migrate migrate)
+{
+    // Allocations are always served by the local instance (§6.2).
+    co_return co_await t.kernel().allocPages(t, order, migrate);
+}
+
+sim::Task<void>
+K2System::freePages(kern::Thread &t, kern::PageRange range)
+{
+    kern::Kernel &local = t.kernel();
+    if (local.pageAllocator().isAllocated(range.first)) {
+        co_await local.freePages(t, range);
+        co_return;
+    }
+    // The thin wrapper (§6.2): the pages belong to the other kernel's
+    // allocator; redirect the free asynchronously via a hardware
+    // message. The address-range check is a few instructions.
+    kern::Kernel &peer = (&local == main_.get()) ? *shadow_ : *main_;
+    K2_ASSERT(peer.pageAllocator().isAllocated(range.first));
+    co_await t.exec(20);
+    remoteFrees_.inc();
+    unsigned order = 0;
+    while ((1ull << order) < range.count)
+        ++order;
+    local.sendMail(peer.domainId(),
+                   encodeMessage(MsgType::FreeRemote,
+                                 static_cast<std::uint32_t>(range.first) &
+                                     kPayloadMask,
+                                 order));
+}
+
+void
+K2System::dumpState(std::ostream &os)
+{
+    os << "==== K2 state at " << sim::formatTime(engine_.now())
+       << " ====\n";
+    for (kern::Kernel *k : kernels()) {
+        auto &dom = k->domain();
+        os << "kernel '" << k->name() << "' on domain '" << dom.name()
+           << "':\n";
+        for (std::size_t i = 0; i < dom.numCores(); ++i) {
+            auto &c = dom.core(i);
+            os << "  core " << c.id() << ": "
+               << soc::powerStateName(c.state()) << ", "
+               << c.hz() / 1000000 << " MHz, active "
+               << sim::formatTime(c.activeTime()) << ", wakeups "
+               << c.wakeups() << "\n";
+        }
+        os << "  runqueue depth " << k->scheduler().runqueueDepth()
+           << ", context switches "
+           << k->scheduler().contextSwitches() << ", free pages "
+           << k->pageAllocator().freePages() << "\n";
+    }
+    os << "memory blocks: main "
+       << meta_->blocksOwnedBy(MetaLevelManager::BlockOwner::Main)
+       << ", shadow "
+       << meta_->blocksOwnedBy(MetaLevelManager::BlockOwner::Shadow)
+       << ", K2 "
+       << meta_->blocksOwnedBy(MetaLevelManager::BlockOwner::Meta)
+       << " of " << meta_->numBlocks() << "\n";
+    os << "dsm: " << dsm_->faultStats(0).faults.value()
+       << " main faults, " << dsm_->faultStats(1).faults.value()
+       << " shadow faults, " << dsm_->messagesSent() << " messages, "
+       << dsm_->pagesDemoted() << " pages demoted\n";
+    os << "nightwatch: " << nightWatch_->suspendsSent.value()
+       << " suspends, " << nightWatch_->resumesSent.value()
+       << " resumes\n";
+    os << "irq routing: "
+       << (irqRouter_->routedToWeak() ? "weak" : "strong") << " ("
+       << irqRouter_->reroutes() << " reroutes)\n";
+    for (soc::RailId r = 0; r < soc_->meter().numRails(); ++r) {
+        os << "rail '" << soc_->meter().railName(r) << "': "
+           << soc_->meter().energyUj(r) / 1000.0 << " mJ\n";
+    }
+}
+
+sim::Task<void>
+K2System::chargeCrossIsa(kern::Kernel &kern, soc::Core &core,
+                         std::uint64_t n)
+{
+    co_await crossIsa_->charge(kern, core, n);
+}
+
+sim::Task<void>
+K2System::dispatchMail(KernelIdx to, soc::Mail mail, soc::Core &core)
+{
+    const Message msg = decodeMessage(mail.word);
+    switch (msg.type) {
+      case MsgType::GetExclusive:
+      case MsgType::PutExclusive:
+        co_await dsm_->handleMail(to, msg, core);
+        co_return;
+      case MsgType::SuspendNw:
+      case MsgType::AckSuspendNw:
+      case MsgType::ResumeNw:
+        co_await nightWatch_->handleMail(to, msg, core);
+        co_return;
+      case MsgType::Control:
+        switch (ctlOp(msg.payload)) {
+          case CtlOp::BalloonGive:
+            co_await meta_->handleMail(to, msg, core);
+            co_return;
+          case CtlOp::MapCreate:
+          case CtlOp::MapDestroy:
+            co_await ioMapper_->handleMail(to, msg, core);
+            co_return;
+        }
+        K2_PANIC("unknown control op in mail 0x%x", mail.word);
+      case MsgType::BalloonDone:
+        co_await meta_->handleMail(to, msg, core);
+        co_return;
+      case MsgType::FreeRemote: {
+        kern::Kernel &kern = (to == 0) ? *main_ : *shadow_;
+        const std::uint64_t work =
+            kern.pageAllocator().free(msg.payload);
+        const double factor = core.spec().kernelCostFactor;
+        co_await core.exec(static_cast<std::uint64_t>(
+            static_cast<double>(work) * factor + 0.5));
+        co_return;
+      }
+    }
+    K2_PANIC("unknown message type in mail 0x%x", mail.word);
+}
+
+} // namespace os
+} // namespace k2

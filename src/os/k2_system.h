@@ -1,0 +1,130 @@
+/**
+ * @file
+ * K2System: the whole K2 OS assembled on the simulated SoC.
+ *
+ * Construction boots the platform end to end:
+ *  - builds the SoC from the (default OMAP4) configuration;
+ *  - lays out the unified kernel address space (Fig. 4): shadow local
+ *    region, main local region, global region;
+ *  - boots the main kernel on the strong domain and the shadow kernel
+ *    on the weak domain;
+ *  - creates the DSM, the balloon drivers + meta-level manager (which
+ *    initially own the entire global region), the interrupt router,
+ *    the NightWatch machinery and the cross-ISA dispatcher;
+ *  - wires both kernels' mailbox receive paths to dispatch DSM /
+ *    NightWatch / balloon / free-redirect messages.
+ *
+ * The result presents the single system image of os::SystemImage.
+ */
+
+#ifndef K2_OS_K2_SYSTEM_H
+#define K2_OS_K2_SYSTEM_H
+
+#include <memory>
+#include <ostream>
+
+#include "sim/engine.h"
+#include "kern/layout.h"
+#include "kern/service.h"
+#include "os/cross_isa.h"
+#include "os/dsm.h"
+#include "os/io_mapper.h"
+#include "os/irq_router.h"
+#include "os/meta_manager.h"
+#include "os/nightwatch.h"
+#include "os/system.h"
+
+namespace k2 {
+namespace os {
+
+struct K2Config
+{
+    soc::SocConfig soc = soc::omap4Config();
+    Dsm::Protocol dsmProtocol = Dsm::Protocol::TwoState;
+    Dsm::CostModel dsmCosts{};
+    /** DSM page keys available to shadowed services. */
+    std::uint64_t dsmPages = 65536;
+    /** Page blocks handed to each kernel at boot. */
+    std::size_t initialMainBlocks = 8;
+    std::size_t initialShadowBlocks = 2;
+    /** Local-region sizes in pages (rounded to 16 MB blocks). */
+    std::uint64_t shadowLocalPages = 4096;  //!< 16 MB.
+    std::uint64_t mainLocalPages = 12288;   //!< 48 MB.
+    MetaLevelManager::Config meta{};
+};
+
+class K2System : public SystemImage
+{
+  public:
+    explicit K2System(K2Config cfg = {});
+    ~K2System() override;
+
+    /** @name SystemImage interface. @{ */
+    const char *modelName() const override { return "K2"; }
+    soc::Soc &soc() override { return *soc_; }
+    kern::Kernel &kernelAt(soc::DomainId domain) override;
+    std::vector<kern::Kernel *> kernels() override;
+    kern::Kernel &mainKernel() override { return *main_; }
+    kern::Kernel &nightWatchKernel() override { return *shadow_; }
+    std::unique_ptr<SharedRegion>
+    createSharedRegion(std::string name, std::uint64_t pages) override;
+    kern::Thread *spawnNormal(kern::Process &proc, std::string name,
+                              kern::Thread::Body body) override;
+    kern::Thread *spawnNightWatch(kern::Process &proc, std::string name,
+                                  kern::Thread::Body body) override;
+    sim::Task<kern::PageRange>
+    allocPages(kern::Thread &t, unsigned order,
+               kern::Migrate migrate = kern::Migrate::Movable) override;
+    sim::Task<void> freePages(kern::Thread &t,
+                              kern::PageRange range) override;
+    sim::Task<void> chargeCrossIsa(kern::Kernel &kern, soc::Core &core,
+                                   std::uint64_t n) override;
+    /** @} */
+
+    /** @name K2 components. @{ */
+    sim::Engine &ownedEngine() { return engine_; }
+    kern::Kernel &shadowKernel() { return *shadow_; }
+    Dsm &dsm() { return *dsm_; }
+    MetaLevelManager &meta() { return *meta_; }
+    NightWatch &nightWatch() { return *nightWatch_; }
+    IrqRouter &irqRouter() { return *irqRouter_; }
+    CrossIsaDispatcher &crossIsa() { return *crossIsa_; }
+    IoMapper &ioMapper() { return *ioMapper_; }
+    const kern::AddressSpaceLayout &layout() const { return *layout_; }
+    const kern::ServiceRegistry &services() const { return services_; }
+    /** @} */
+
+    /** Frees redirected to the peer kernel so far. */
+    std::uint64_t remoteFrees() const { return remoteFrees_.value(); }
+
+    /**
+     * Render a human-readable snapshot of the whole OS -- kernels,
+     * core power states, memory-block ownership, DSM and NightWatch
+     * statistics -- for debugging and the examples.
+     */
+    void dumpState(std::ostream &os);
+
+  private:
+    sim::Task<void> dispatchMail(KernelIdx to, soc::Mail mail,
+                                 soc::Core &core);
+
+    K2Config cfg_;
+    sim::Engine engine_;
+    std::unique_ptr<soc::Soc> soc_;
+    std::unique_ptr<kern::AddressSpaceLayout> layout_;
+    std::unique_ptr<kern::Kernel> main_;
+    std::unique_ptr<kern::Kernel> shadow_;
+    std::unique_ptr<Dsm> dsm_;
+    std::unique_ptr<MetaLevelManager> meta_;
+    std::unique_ptr<NightWatch> nightWatch_;
+    std::unique_ptr<IrqRouter> irqRouter_;
+    std::unique_ptr<CrossIsaDispatcher> crossIsa_;
+    std::unique_ptr<IoMapper> ioMapper_;
+    kern::ServiceRegistry services_;
+    sim::Counter remoteFrees_;
+};
+
+} // namespace os
+} // namespace k2
+
+#endif // K2_OS_K2_SYSTEM_H

@@ -1,0 +1,190 @@
+#include "os/ndsm.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+NDsm::NDsm(soc::Soc &soc, std::vector<kern::Kernel *> kernels,
+           std::uint64_t num_pages)
+    : soc_(soc), kernels_(std::move(kernels)), numPages_(num_pages),
+      stats_(kernels_.size())
+{
+    K2_ASSERT(kernels_.size() >= 2);
+    for (kern::Kernel *k : kernels_) {
+        K2_ASSERT(k != nullptr);
+        const auto &spec = k->domain().spec().core;
+        mmus_.push_back(std::make_unique<soc::Mmu>(spec));
+        // Strong kernels use the fast-path constants, weak kernels
+        // the slow ones (same calibration as the two-kernel DSM).
+        if (spec.kernelCostFactor <= 1.0) {
+            costs_.push_back(Costs{sim::usec(3), sim::usec(2), 0,
+                                   sim::usec(18)});
+        } else {
+            costs_.push_back(Costs{sim::usec(17), sim::usec(13),
+                                   sim::usec(8), sim::usec(2)});
+        }
+    }
+}
+
+kern::PageRange
+NDsm::allocRegion(std::uint64_t pages)
+{
+    if (nextRegionPage_ + pages > numPages_)
+        K2_FATAL("NDsm region space exhausted");
+    kern::PageRange r{nextRegionPage_, pages};
+    nextRegionPage_ += pages;
+    return r;
+}
+
+NDsm::PageInfo &
+NDsm::info(std::uint64_t page)
+{
+    K2_ASSERT(page < numPages_);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        auto pi = std::make_unique<PageInfo>();
+        pi->grant = std::make_unique<sim::Event>(soc_.engine());
+        pi->settled = std::make_unique<sim::Event>(soc_.engine());
+        it = pages_.emplace(page, std::move(pi)).first;
+    }
+    return *it->second;
+}
+
+std::size_t
+NDsm::idxOf(const kern::Kernel &k) const
+{
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+        if (kernels_[i] == &k)
+            return i;
+    }
+    K2_PANIC("kernel '%s' is not part of this NDsm", k.name().c_str());
+}
+
+std::size_t
+NDsm::ownerOf(std::uint64_t page) const
+{
+    auto it = pages_.find(page);
+    return it == pages_.end() ? 0 : it->second->owner;
+}
+
+sim::Task<void>
+NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
+             Access rw)
+{
+    (void)rw; // the N-domain protocol is two-state: any access is
+              // exclusive, as in §6.3.
+    const std::size_t k = idxOf(kern);
+    PageInfo &pi = info(page);
+
+    const sim::Duration walk =
+        mmus_[k]->translate(page, soc::MapGrain::Page4K);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        // Serialise with any fault in flight on this page, from any
+        // kernel (the directory replicas order requests).
+        while (pi.outstanding) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        if (pi.owner == k)
+            co_return;
+
+        stats_[k].faults.inc();
+        pi.outstanding = true;
+        pi.requester = k;
+
+        const sim::Time t0 = soc_.engine().now();
+        co_await core.execTime(costs_[k].faultEntry);
+        co_await core.execTime(costs_[k].protocolExec);
+
+        // Directory lookup gives the current owner; request it
+        // directly (no broadcast).
+        messages_.inc();
+        kernels_[k]->sendMail(
+            kernels_[pi.owner]->domainId(),
+            encodeMessage(MsgType::GetExclusive, page & kPayloadMask,
+                          seq_++ & kSeqMask));
+
+        pi.grant->reset();
+        core.pinActive();
+        co_await pi.grant->wait();
+        core.unpinActive();
+
+        co_await core.execTime(costs_[k].exitRefill +
+                               mmus_[k]->protectionUpdate(page));
+
+        pi.owner = k;
+        pi.outstanding = false;
+        pi.settled->pulse();
+        stats_[k].totalUs.sample(
+            sim::toUsec(soc_.engine().now() - t0));
+        co_return;
+    }
+}
+
+sim::Task<void>
+NDsm::serviceGet(std::size_t owner, std::size_t requester,
+                 std::uint64_t page)
+{
+    PageInfo &pi = info(page);
+
+    // The strong kernel defers to a bottom half.
+    if (owner == 0)
+        co_await soc_.engine().sleep(soc_.costs().mailboxOneWay);
+
+    soc::CoherenceDomain &dom = kernels_[owner]->domain();
+    soc::Core *core = &dom.core(0);
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        if (dom.core(i).state() == soc::PowerState::Idle) {
+            core = &dom.core(i);
+            break;
+        }
+    }
+    co_await core->ensureAwake();
+
+    const sim::Time t0 = soc_.engine().now();
+    co_await core->execTime(costs_[owner].serviceBase +
+                            dom.flushTime(soc_.pageBytes()) +
+                            mmus_[owner]->protectionUpdate(page));
+    pi.lastServiceTime = soc_.engine().now() - t0;
+
+    messages_.inc();
+    kernels_[owner]->sendMail(
+        kernels_[requester]->domainId(),
+        encodeMessage(MsgType::PutExclusive, page & kPayloadMask,
+                      seq_++ & kSeqMask));
+}
+
+sim::Task<void>
+NDsm::handleMail(std::size_t to_kernel, soc::Mail mail, soc::Core &core)
+{
+    const Message msg = decodeMessage(mail.word);
+    const std::uint64_t page = msg.payload;
+    // The Mail carries the sending domain; map it to a kernel index.
+    std::size_t from_kernel = SIZE_MAX;
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+        if (kernels_[i]->domainId() == mail.from)
+            from_kernel = i;
+    }
+    K2_ASSERT(from_kernel != SIZE_MAX);
+
+    switch (msg.type) {
+      case MsgType::GetExclusive:
+        soc_.engine().spawn(serviceGet(to_kernel, from_kernel, page));
+        co_return;
+      case MsgType::PutExclusive:
+        co_await core.execTime(soc_.costs().busAccess);
+        info(page).grant->pulse();
+        co_return;
+      default:
+        K2_PANIC("NDsm received unexpected message type %u",
+                 static_cast<unsigned>(msg.type));
+    }
+}
+
+} // namespace os
+} // namespace k2

@@ -1,0 +1,15 @@
+#include "os/system.h"
+
+namespace k2 {
+namespace os {
+
+kern::Process &
+SystemImage::createProcess(std::string name)
+{
+    processes_.push_back(
+        std::make_unique<kern::Process>(nextPid_++, std::move(name)));
+    return *processes_.back();
+}
+
+} // namespace os
+} // namespace k2

@@ -1,0 +1,93 @@
+#include "sim/engine.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace sim {
+
+EventId
+Engine::at(Time when, std::function<void()> fn)
+{
+    if (when < now_)
+        K2_PANIC("event scheduled in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+    auto record = std::make_shared<EventId::Record>();
+    record->fn = std::move(fn);
+    queue_.push(QueueEntry{when, seq_++, record});
+    return EventId(record);
+}
+
+EventId
+Engine::after(Duration delay, std::function<void()> fn)
+{
+    return at(now_ + delay, std::move(fn));
+}
+
+void
+Engine::cancel(EventId &id)
+{
+    if (id.record_)
+        id.record_->cancelled = true;
+    id.record_.reset();
+}
+
+void
+Engine::spawn(Task<void> task)
+{
+    if (!task.valid())
+        K2_PANIC("spawn of an empty task");
+    auto handle = task.release();
+    handle.promise().setDetached();
+    at(now_, [handle]() { handle.resume(); });
+}
+
+void
+Engine::resumeLater(std::coroutine_handle<> h)
+{
+    at(now_, [h]() { h.resume(); });
+}
+
+bool
+Engine::runOne()
+{
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        if (entry.record->cancelled)
+            continue;
+        now_ = entry.when;
+        entry.record->fired = true;
+        ++dispatched_;
+        // Move the callback out so the record can be dropped even if
+        // the callback reschedules.
+        auto fn = std::move(entry.record->fn);
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Engine::run(Time until)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        // Skip cancelled entries without advancing time.
+        if (queue_.top().record->cancelled) {
+            queue_.pop();
+            continue;
+        }
+        if (queue_.top().when > until)
+            break;
+        if (!runOne())
+            break;
+        ++n;
+    }
+    if (until != kTimeNever && now_ < until)
+        now_ = until;
+    return n;
+}
+
+} // namespace sim
+} // namespace k2

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * One Engine drives an entire simulated SoC. Events are callbacks
+ * ordered by (time, insertion sequence); ties are broken FIFO so runs
+ * are bit-for-bit deterministic. Coroutines interact with the engine
+ * through awaitables (sleep) and by being spawned as detached top-level
+ * activities.
+ */
+
+#ifndef K2_SIM_ENGINE_H
+#define K2_SIM_ENGINE_H
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace k2 {
+namespace sim {
+
+/** Handle used to cancel a scheduled event. */
+class EventId
+{
+  public:
+    EventId() = default;
+
+    /** True if this handle refers to an event (possibly already run). */
+    bool valid() const { return static_cast<bool>(record_); }
+
+  private:
+    friend class Engine;
+
+    struct Record
+    {
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventId(std::shared_ptr<Record> r)
+        : record_(std::move(r))
+    {}
+
+    std::shared_ptr<Record> record_;
+};
+
+/**
+ * The discrete-event engine.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute simulated time.
+     *
+     * @param when Absolute time; must be >= now().
+     * @param fn Callback to run.
+     * @return Handle usable with cancel().
+     */
+    EventId at(Time when, std::function<void()> fn);
+
+    /** Schedule a callback after a relative delay. */
+    EventId after(Duration delay, std::function<void()> fn);
+
+    /** Cancel a pending event; no-op if it already ran. */
+    void cancel(EventId &id);
+
+    /**
+     * Detach a Task<void> as a top-level simulated activity.
+     *
+     * The task starts at the current time (as a scheduled event, not
+     * inline) and frees its own frame on completion.
+     */
+    void spawn(Task<void> task);
+
+    /** Awaitable that suspends the caller for a simulated duration. */
+    class SleepAwaiter
+    {
+      public:
+        SleepAwaiter(Engine &eng, Duration d)
+            : engine_(eng), delay_(d)
+        {}
+
+        bool await_ready() const { return delay_ == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            engine_.at(engine_.now() + delay_, [h]() { h.resume(); });
+        }
+
+        void await_resume() const {}
+
+      private:
+        Engine &engine_;
+        Duration delay_;
+    };
+
+    /** Suspend the calling coroutine for @p d simulated time. */
+    SleepAwaiter sleep(Duration d) { return SleepAwaiter(*this, d); }
+
+    /** Resume a coroutine handle at the current time (as an event). */
+    void resumeLater(std::coroutine_handle<> h);
+
+    /**
+     * Run events until the queue is empty or simulated time would
+     * exceed @p until.
+     *
+     * @param until Inclusive time horizon.
+     * @return Number of events dispatched.
+     */
+    std::uint64_t run(Time until = kTimeNever);
+
+    /** Run a single event. @return false if the queue was empty. */
+    bool runOne();
+
+    /** Number of events dispatched since construction. */
+    std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** The engine's trace ring buffer (disabled by default). */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
+    /** Record a trace event at the current time (cheap when the
+     *  category is disabled -- check tracer().on(cat) before
+     *  formatting). */
+    void
+    trace(TraceCat cat, std::string text)
+    {
+        tracer_.record(now_, cat, std::move(text));
+    }
+
+  private:
+    struct QueueEntry
+    {
+        Time when;
+        std::uint64_t seq;
+        std::shared_ptr<EventId::Record> record;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const QueueEntry &a, const QueueEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    Tracer tracer_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+};
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_ENGINE_H

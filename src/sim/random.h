@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * xoshiro256** with a SplitMix64 seeder: fast, high quality, and (unlike
+ * std::mt19937 + std::distributions) guaranteed to produce identical
+ * sequences across standard library implementations.
+ */
+
+#ifndef K2_SIM_RANDOM_H
+#define K2_SIM_RANDOM_H
+
+#include <cstdint>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace sim {
+
+/** xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        K2_ASSERT(bound > 0);
+        // Lemire's nearly-divisionless bounded generation (simplified:
+        // modulo bias is negligible for the bounds used here, but use
+        // rejection anyway for exactness).
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        K2_ASSERT(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_RANDOM_H

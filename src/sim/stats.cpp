@@ -1,0 +1,25 @@
+#include "sim/stats.h"
+
+namespace k2 {
+namespace sim {
+
+double
+Histogram::percentile(double p) const
+{
+    const std::uint64_t total = acc_.count();
+    if (total == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(p * total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen > target) {
+            // Upper edge of the bucket as the estimate.
+            return static_cast<double>(1ull << i);
+        }
+    }
+    return acc_.max();
+}
+
+} // namespace sim
+} // namespace k2

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight statistics: counters and sample accumulators.
+ *
+ * Components expose Counter and Accumulator members; benches and tests
+ * read them directly. Accumulator tracks count/sum/min/max and mean;
+ * Histogram additionally keeps log2 buckets for latency distributions.
+ */
+
+#ifndef K2_SIM_STATS_H
+#define K2_SIM_STATS_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace k2 {
+namespace sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates scalar samples (latencies, sizes, ...). */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** An accumulator with log2-bucketed distribution. */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void
+    sample(double v)
+    {
+        acc_.sample(v);
+        const auto u = static_cast<std::uint64_t>(std::max(v, 0.0));
+        std::size_t bucket = 0;
+        while ((1ull << bucket) <= u && bucket + 1 < kBuckets)
+            ++bucket;
+        ++buckets_[bucket];
+    }
+
+    const Accumulator &acc() const { return acc_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Approximate p-th percentile from the bucket boundaries. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        acc_.reset();
+        buckets_.fill(0);
+    }
+
+  private:
+    Accumulator acc_;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_STATS_H

@@ -1,0 +1,37 @@
+#include "sim/sync.h"
+
+#include <memory>
+#include <vector>
+
+namespace k2 {
+namespace sim {
+
+namespace {
+
+Task<void>
+runAndCount(Task<void> task, std::shared_ptr<std::size_t> remaining,
+            std::shared_ptr<Event> done)
+{
+    co_await task;
+    K2_ASSERT(*remaining > 0);
+    if (--*remaining == 0)
+        done->set();
+}
+
+} // namespace
+
+Task<void>
+whenAll(Engine &eng, std::vector<Task<void>> tasks)
+{
+    if (tasks.empty())
+        co_return;
+    auto remaining = std::make_shared<std::size_t>(tasks.size());
+    auto done = std::make_shared<Event>(eng);
+    for (auto &t : tasks)
+        eng.spawn(runAndCount(std::move(t), remaining, done));
+    tasks.clear();
+    co_await done->wait();
+}
+
+} // namespace sim
+} // namespace k2

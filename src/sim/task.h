@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Lazy coroutine task type used for all simulated activities.
+ *
+ * A Task<T> is a lazily-started coroutine: creating one does not run any
+ * code. It is started either by co_await-ing it from another coroutine
+ * (the usual case: the awaiter suspends until the task completes and
+ * receives its result), or by detaching it onto the Engine with
+ * Engine::spawn(), which runs it as a top-level simulated activity.
+ *
+ * Tasks use symmetric transfer on completion, so arbitrarily deep
+ * co_await chains do not grow the host stack.
+ */
+
+#ifndef K2_SIM_TASK_H
+#define K2_SIM_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+/** State shared by all task promises. */
+class PromiseBase
+{
+  public:
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    class FinalAwaiter
+    {
+      public:
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            PromiseBase &p = h.promise();
+            std::coroutine_handle<> next = p.continuation_
+                ? p.continuation_ : std::noop_coroutine();
+            if (p.detached_) {
+                // Nobody owns a detached coroutine's frame; reclaim it
+                // here. `next` was captured before the destroy.
+                h.destroy();
+            }
+            return next;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        if (detached_) {
+            // A detached simulated activity must not fail silently.
+            try {
+                throw;
+            } catch (const std::exception &e) {
+                K2_PANIC("uncaught exception in detached task: %s",
+                         e.what());
+            } catch (...) {
+                K2_PANIC("uncaught non-std exception in detached task");
+            }
+        }
+        exception_ = std::current_exception();
+    }
+
+    void setContinuation(std::coroutine_handle<> c) { continuation_ = c; }
+    void setDetached() { detached_ = true; }
+    bool detached() const { return detached_; }
+
+    void
+    rethrowIfFailed()
+    {
+        if (exception_)
+            std::rethrow_exception(exception_);
+    }
+
+  private:
+    std::coroutine_handle<> continuation_{};
+    std::exception_ptr exception_{};
+    bool detached_ = false;
+};
+
+template <typename T>
+class Promise : public PromiseBase
+{
+  public:
+    Task<T> get_return_object();
+
+    template <typename U>
+    void
+    return_value(U &&v)
+    {
+        value_.emplace(std::forward<U>(v));
+    }
+
+    T &&
+    result()
+    {
+        K2_ASSERT(value_.has_value());
+        return std::move(*value_);
+    }
+
+  private:
+    std::optional<T> value_;
+};
+
+template <>
+class Promise<void> : public PromiseBase
+{
+  public:
+    Task<void> get_return_object();
+    void return_void() {}
+    void result() {}
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning T.
+ *
+ * Movable, not copyable. The Task owns the coroutine frame unless it has
+ * been detached via release() (done by Engine::spawn()).
+ */
+template <typename T>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+
+    explicit Task(Handle h)
+        : handle_(h)
+    {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, {}))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if this Task still refers to a coroutine. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /**
+     * Relinquish ownership of the coroutine frame (used by
+     * Engine::spawn(), which marks the frame self-destroying).
+     */
+    Handle
+    release()
+    {
+        return std::exchange(handle_, {});
+    }
+
+    /** Awaiter: starts the task, suspends until completion. */
+    class Awaiter
+    {
+      public:
+        explicit Awaiter(Handle h)
+            : handle_(h)
+        {}
+
+        bool await_ready() const { return !handle_ || handle_.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> cont)
+        {
+            handle_.promise().setContinuation(cont);
+            return handle_;
+        }
+
+        T
+        await_resume()
+        {
+            K2_ASSERT(handle_);
+            handle_.promise().rethrowIfFailed();
+            return handle_.promise().result();
+        }
+
+      private:
+        Handle handle_;
+    };
+
+    Awaiter operator co_await() const & { return Awaiter(handle_); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_TASK_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulated-time types for the K2 discrete-event engine.
+ *
+ * Simulated time is measured in integer picoseconds so that a single
+ * cycle of the fastest modelled core (1.2 GHz => ~833 ps) is exactly
+ * representable. A uint64_t of picoseconds covers ~213 simulated days,
+ * far beyond any experiment in this repository.
+ */
+
+#ifndef K2_SIM_TIME_H
+#define K2_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace k2 {
+namespace sim {
+
+/** A point in simulated time, in picoseconds since simulation start. */
+using Time = std::uint64_t;
+
+/** A span of simulated time, in picoseconds. */
+using Duration = std::uint64_t;
+
+/** The maximum representable time; used as "never". */
+inline constexpr Time kTimeNever = UINT64_MAX;
+
+/** @name Duration constructors. @{ */
+constexpr Duration
+psec(std::uint64_t v)
+{
+    return v;
+}
+
+constexpr Duration
+nsec(std::uint64_t v)
+{
+    return v * 1000ull;
+}
+
+constexpr Duration
+usec(std::uint64_t v)
+{
+    return v * 1000ull * 1000ull;
+}
+
+constexpr Duration
+msec(std::uint64_t v)
+{
+    return v * 1000ull * 1000ull * 1000ull;
+}
+
+constexpr Duration
+sec(std::uint64_t v)
+{
+    return v * 1000ull * 1000ull * 1000ull * 1000ull;
+}
+/** @} */
+
+/** @name Duration accessors, as double for reporting. @{ */
+constexpr double
+toNsec(Duration d)
+{
+    return static_cast<double>(d) / 1e3;
+}
+
+constexpr double
+toUsec(Duration d)
+{
+    return static_cast<double>(d) / 1e6;
+}
+
+constexpr double
+toMsec(Duration d)
+{
+    return static_cast<double>(d) / 1e9;
+}
+
+constexpr double
+toSec(Duration d)
+{
+    return static_cast<double>(d) / 1e12;
+}
+/** @} */
+
+/**
+ * Convert a cycle count at a given core frequency into a duration.
+ *
+ * Rounds up so that executing at least one cycle always advances time.
+ *
+ * @param cycles Number of core cycles.
+ * @param hz Core frequency in hertz.
+ * @return Elapsed simulated time in picoseconds.
+ */
+constexpr Duration
+cyclesToTime(std::uint64_t cycles, std::uint64_t hz)
+{
+    // ps = ceil(cycles * 1e12 / hz); 128-bit intermediate avoids both
+    // overflow and cumulative rounding error.
+    const unsigned __int128 ps =
+        (static_cast<unsigned __int128>(cycles) * 1000000000000ull +
+         (hz - 1)) / hz;
+    return static_cast<Duration>(ps);
+}
+
+/**
+ * Convert a duration into cycles at a given frequency (rounded down).
+ */
+constexpr std::uint64_t
+timeToCycles(Duration d, std::uint64_t hz)
+{
+    return static_cast<std::uint64_t>((static_cast<double>(d) / 1e12) *
+                                      static_cast<double>(hz));
+}
+
+/** Render a time as a human-readable string (e.g. "12.345 us"). */
+std::string formatTime(Time t);
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_TIME_H

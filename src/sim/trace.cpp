@@ -1,0 +1,68 @@
+#include "sim/trace.h"
+
+namespace k2 {
+namespace sim {
+
+const char *
+Tracer::catName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Sched:
+        return "sched";
+      case TraceCat::Dsm:
+        return "dsm";
+      case TraceCat::Irq:
+        return "irq";
+      case TraceCat::Mem:
+        return "mem";
+      case TraceCat::Nw:
+        return "nw";
+      case TraceCat::Mail:
+        return "mail";
+    }
+    return "?";
+}
+
+void
+Tracer::record(Time when, TraceCat cat, std::string text)
+{
+    if (!on(cat))
+        return;
+    ++emitted_;
+    if (buffer_.size() >= capacity_) {
+        buffer_.pop_front();
+        ++dropped_;
+    }
+    buffer_.push_back(Record{when, cat, std::move(text)});
+}
+
+std::vector<Tracer::Record>
+Tracer::ofCategory(TraceCat cat) const
+{
+    std::vector<Record> out;
+    for (const auto &r : buffer_) {
+        if (r.cat == cat)
+            out.push_back(r);
+    }
+    return out;
+}
+
+void
+Tracer::dump(std::ostream &os) const
+{
+    for (const auto &r : buffer_) {
+        os << formatTime(r.when) << " [" << catName(r.cat) << "] "
+           << r.text << "\n";
+    }
+}
+
+void
+Tracer::clear()
+{
+    buffer_.clear();
+    emitted_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace sim
+} // namespace k2

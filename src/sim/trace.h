@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Structured event tracing.
+ *
+ * The K2 prototype "includes extensive debugging support" (Table 2);
+ * this is our equivalent: a per-engine ring buffer of categorised,
+ * timestamped records that OS components emit on their interesting
+ * transitions (dispatches, DSM faults, interrupt reroutes, NightWatch
+ * suspends, balloon moves). Tracing is off by default and costs one
+ * branch when disabled; enabled categories format into the ring
+ * buffer, which tests and debugging sessions can dump or query.
+ */
+
+#ifndef K2_SIM_TRACE_H
+#define K2_SIM_TRACE_H
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace k2 {
+namespace sim {
+
+/** Trace categories (bitmask). */
+enum class TraceCat : std::uint32_t
+{
+    Sched = 1u << 0, //!< Thread dispatch/park.
+    Dsm = 1u << 1,   //!< Coherence faults and services.
+    Irq = 1u << 2,   //!< Interrupt routing changes.
+    Mem = 1u << 3,   //!< Balloon/meta-manager block moves.
+    Nw = 1u << 4,    //!< NightWatch suspend/resume.
+    Mail = 1u << 5,  //!< Hardware mail traffic.
+};
+
+constexpr std::uint32_t
+traceMask(TraceCat c)
+{
+    return static_cast<std::uint32_t>(c);
+}
+
+/** Every category. */
+inline constexpr std::uint32_t kTraceAll = 0x3F;
+
+class Tracer
+{
+  public:
+    /** One trace record. */
+    struct Record
+    {
+        Time when;
+        TraceCat cat;
+        std::string text;
+    };
+
+    /** @param capacity Ring-buffer size in records. */
+    explicit Tracer(std::size_t capacity = 4096)
+        : capacity_(capacity)
+    {}
+
+    /** Enable the categories in @p mask (in addition to current). */
+    void enable(std::uint32_t mask) { enabled_ |= mask; }
+
+    /** Disable the categories in @p mask. */
+    void disable(std::uint32_t mask) { enabled_ &= ~mask; }
+
+    /** True if @p cat is enabled (call before formatting). */
+    bool
+    on(TraceCat cat) const
+    {
+        return (enabled_ & traceMask(cat)) != 0;
+    }
+
+    /** Append a record (no-op unless the category is enabled). */
+    void record(Time when, TraceCat cat, std::string text);
+
+    /** Records currently buffered, oldest first. */
+    const std::deque<Record> &records() const { return buffer_; }
+
+    /** Records of one category, oldest first. */
+    std::vector<Record> ofCategory(TraceCat cat) const;
+
+    /** Total records emitted (including those rotated out). */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Records lost to ring-buffer rotation. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Render all buffered records, one per line. */
+    void dump(std::ostream &os) const;
+
+    void clear();
+
+    /** Printable category name. */
+    static const char *catName(TraceCat cat);
+
+  private:
+    std::size_t capacity_;
+    std::uint32_t enabled_ = 0;
+    std::deque<Record> buffer_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_TRACE_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Static configuration of a simulated multi-domain SoC.
+ *
+ * The default configuration, omap4Config(), reproduces the platform of
+ * the K2 paper (Tables 1 and 3): a strong coherence domain with two
+ * Cortex-A9-class cores and a weak domain with one usable
+ * Cortex-M3-class core, connected by hardware mailboxes and spinlocks,
+ * sharing RAM and IO peripherals.
+ */
+
+#ifndef K2_SOC_CONFIG_H
+#define K2_SOC_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace k2 {
+namespace soc {
+
+/** Index of a coherence domain on the SoC. */
+using DomainId = std::uint32_t;
+
+/** Global index of a core on the SoC. */
+using CoreId = std::uint32_t;
+
+/** A DVFS operating point. */
+struct OperatingPoint
+{
+    std::uint64_t hz;   //!< Core frequency.
+    double activeMw;    //!< Power while executing at this point.
+};
+
+/** Which MMU the domain's cores have (affects DSM fault costs, §6.3). */
+enum class MmuKind
+{
+    SingleLevel,    //!< ARMv7-A style: page-table walker, r/w perms.
+    CascadedTwoLevel //!< OMAP4 M3 style: tiny SW-loaded L1 TLB in front.
+};
+
+/** Specification of one core type. */
+struct CoreSpec
+{
+    std::string name;           //!< e.g. "Cortex-A9".
+    std::string isa;            //!< e.g. "ARM" / "Thumb-2".
+    std::vector<OperatingPoint> points; //!< Allowed DVFS points.
+    std::size_t defaultPoint = 0;   //!< Index into points at boot.
+    double instrPerCycle = 1.0; //!< Sustained IPC on reference work.
+    /**
+     * Extra slowdown of kernel code touching large data structures
+     * (page allocator metadata, page tables) on this core, relative to
+     * its IPC on streaming work. Captures the weak core's tiny cache
+     * and slow RAM path; calibrated so the shadow kernel's Table 4 /
+     * Table 5 latencies match the paper.
+     */
+    double kernelCostFactor = 1.0;
+    /** Sustained CPU memory copy/clear bandwidth, bytes per second
+     *  (drives memset/memcpy costs in drivers and the net stack). */
+    double memBytesPerSec = 1.0e9;
+    double idleMw = 0.0;        //!< Power while clocked but idle (WFI).
+    double inactiveMw = 0.0;    //!< Power while power-gated.
+    sim::Duration wakeLatency = 0;  //!< Inactive -> active latency.
+    double wakeEnergyUj = 0.0;  //!< Energy burned per wakeup.
+    MmuKind mmu = MmuKind::SingleLevel;
+    std::size_t l1TlbEntries = 32;  //!< First-level TLB size.
+};
+
+/** Specification of one coherence domain. */
+struct DomainSpec
+{
+    std::string name;       //!< e.g. "strong" / "weak".
+    CoreSpec core;          //!< All cores in a domain are homogeneous.
+    std::size_t numCores = 1;
+    /** Cost of flushing+invalidating one cache line to RAM. */
+    sim::Duration cacheLineFlush = sim::nsec(60);
+    std::size_t cacheLineBytes = 32;
+    /**
+     * Power of the domain's uncore -- coherent interconnect, shared
+     * cache, snoop unit -- while any core in the domain is not
+     * power-gated (§2.2: "the coherent interconnect itself consumes
+     * significant power").
+     */
+    double uncoreActiveMw = 0.0;
+    /** Uncore power when the whole domain is power-gated. */
+    double uncoreInactiveMw = 0.05;
+    /** Reference instructions charged for interrupt entry/exit (the
+     *  M3's hardware-stacked entry is much cheaper than the A9's). */
+    std::uint64_t irqEntryInstr = 300;
+};
+
+/** Tunable costs common to the platform. */
+struct PlatformCosts
+{
+    /** One-way hardware mailbox latency (paper: ~5 us round trip). */
+    sim::Duration mailboxOneWay = sim::nsec(2500);
+    /** Kernel context switch (paper: 3-4 us). */
+    sim::Duration contextSwitch = sim::nsec(3500);
+    /** Poll interval while spinning on a hardware spinlock. */
+    sim::Duration spinPoll = sim::nsec(200);
+    /** Idle period after *thread* activity before a core is
+     *  power-gated (paper: 5 s). Zero disables power gating. */
+    sim::Duration inactiveTimeout = sim::sec(5);
+    /**
+     * Idle period before re-gating a core that was woken only to run
+     * interrupt handlers (e.g. servicing a DSM request), with no
+     * thread dispatched since. Models cpuidle quickly re-entering the
+     * deep state when nothing is runnable.
+     */
+    sim::Duration irqRegateTimeout = sim::usec(100);
+    /** Peak memory-to-memory DMA engine bandwidth, bytes/sec
+     *  (calibrated so the IO-bound rows of Table 6 land at
+     *  ~40.5 MB/s). */
+    double dmaBandwidth = 42.0e6;
+    /** Fixed engine time to start one programmed DMA transfer. */
+    sim::Duration dmaSetup = sim::usec(2);
+    /** Interconnect word (32-bit) access latency. */
+    sim::Duration busAccess = sim::nsec(50);
+};
+
+/** Top-level SoC configuration. */
+struct SocConfig
+{
+    std::string name;
+    std::vector<DomainSpec> domains;
+    PlatformCosts costs;
+    std::size_t ramBytes = 1ull << 30;  //!< 1 GB.
+    std::size_t pageBytes = 4096;
+    std::size_t numHwSpinlocks = 32;
+    std::size_t numDmaChannels = 32;
+    std::size_t numIrqLines = 64;
+
+    /** Validate invariants; calls sim::fatal() on a bad config. */
+    void validate() const;
+};
+
+/** Index of the strong domain in omap4Config(). */
+inline constexpr DomainId kStrongDomain = 0;
+
+/** Index of the weak domain in omap4Config(). */
+inline constexpr DomainId kWeakDomain = 1;
+
+/**
+ * The paper's evaluation platform: TI OMAP4.
+ *
+ * Strong domain: 2x Cortex-A9, 350-1200 MHz, ARM ISA, 79.8 mW active at
+ * 350 MHz / 672 mW at 1200 MHz, 25.2 mW idle. Weak domain: 1x Cortex-M3
+ * (the second M3 on OMAP4 is reserved by the boot firmware), 100-200
+ * MHz, Thumb-2, 21.1 mW active at 200 MHz, 3.8 mW idle. Both domains
+ * are < 0.1 mW when inactive. (Paper Tables 1 and 3.)
+ */
+SocConfig omap4Config();
+
+/**
+ * A forward-looking three-domain SoC (paper §11: "one system may
+ * embrace more, but not many, types of heterogeneous domains"):
+ * omap4Config() plus a third, even weaker always-on sensor-hub domain
+ * with one Cortex-M0-class core.
+ */
+SocConfig threeDomainConfig();
+
+/** Index of the sensor-hub domain in threeDomainConfig(). */
+inline constexpr DomainId kHubDomain = 2;
+
+} // namespace soc
+} // namespace k2
+
+#endif // K2_SOC_CONFIG_H

@@ -1,0 +1,206 @@
+#include "soc/core.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace soc {
+
+const char *
+powerStateName(PowerState s)
+{
+    switch (s) {
+      case PowerState::Active:
+        return "active";
+      case PowerState::Idle:
+        return "idle";
+      case PowerState::Inactive:
+        return "inactive";
+    }
+    return "?";
+}
+
+Core::Core(sim::Engine &eng, EnergyMeter &meter, RailId rail,
+           const CoreSpec &spec, const PlatformCosts &costs, CoreId id,
+           DomainId domain)
+    : engine_(eng), meter_(meter), rail_(rail), spec_(spec), costs_(costs),
+      id_(id), domain_(domain), point_(spec.defaultPoint), wakeDone_(eng)
+{
+    client_ = meter_.addClient(rail_, powerFor(state_));
+    lastStateChange_ = engine_.now();
+    // Treat boot as thread activity so a fresh core follows the full
+    // inactive timeout.
+    lastThreadActivity_ = engine_.now();
+    armInactiveTimer();
+}
+
+double
+Core::powerFor(PowerState s) const
+{
+    switch (s) {
+      case PowerState::Active:
+        return spec_.points[point_].activeMw;
+      case PowerState::Idle:
+        return spec_.idleMw;
+      case PowerState::Inactive:
+        return spec_.inactiveMw;
+    }
+    return 0.0;
+}
+
+void
+Core::setOperatingPoint(std::size_t idx)
+{
+    if (idx >= spec_.points.size())
+        K2_FATAL("core %u: operating point %zu out of range", id_, idx);
+    point_ = idx;
+    meter_.setClientPower(rail_, client_, powerFor(state_));
+}
+
+sim::Duration
+Core::instrTime(std::uint64_t instructions) const
+{
+    const auto cycles = static_cast<std::uint64_t>(
+        static_cast<double>(instructions) / spec_.instrPerCycle + 0.5);
+    return sim::cyclesToTime(cycles ? cycles : 1, hz());
+}
+
+void
+Core::setState(PowerState s)
+{
+    if (s == state_)
+        return;
+    const sim::Time now = engine_.now();
+    residency_[static_cast<int>(state_)] += now - lastStateChange_;
+    lastStateChange_ = now;
+    state_ = s;
+    meter_.setClientPower(rail_, client_, powerFor(state_));
+    for (const auto &fn : listeners_)
+        fn(state_);
+}
+
+void
+Core::noteThreadActivity()
+{
+    lastThreadActivity_ = engine_.now();
+    if (state_ == PowerState::Idle)
+        armInactiveTimer();
+}
+
+void
+Core::armInactiveTimer()
+{
+    engine_.cancel(inactiveTimer_);
+    // A zero timeout disables power gating entirely (useful for
+    // protocol microbenchmarks).
+    if (costs_.inactiveTimeout == 0)
+        return;
+    // A core that ran a thread stays up for the full timeout counted
+    // from the last thread activity; a core woken only for interrupt
+    // work re-gates quickly (cpuidle model).
+    const sim::Time now = engine_.now();
+    const sim::Time thread_deadline =
+        lastThreadActivity_ + costs_.inactiveTimeout;
+    const sim::Time irq_deadline = now + costs_.irqRegateTimeout;
+    const sim::Time deadline = std::max(thread_deadline, irq_deadline);
+    const std::uint64_t epoch = ++idleEpoch_;
+    inactiveTimer_ = engine_.at(deadline, [this, epoch]() {
+        if (epoch == idleEpoch_ && busyCount_ == 0 && !waking_ &&
+            state_ == PowerState::Idle) {
+            setState(PowerState::Inactive);
+        }
+    });
+}
+
+void
+Core::beginBusy()
+{
+    K2_ASSERT(state_ != PowerState::Inactive);
+    if (busyCount_++ == 0) {
+        engine_.cancel(inactiveTimer_);
+        ++idleEpoch_;
+        setState(PowerState::Active);
+    }
+}
+
+void
+Core::endBusy()
+{
+    K2_ASSERT(busyCount_ > 0);
+    if (--busyCount_ == 0) {
+        setState(PowerState::Idle);
+        armInactiveTimer();
+    }
+}
+
+sim::Task<void>
+Core::ensureAwake()
+{
+    while (state_ == PowerState::Inactive || waking_) {
+        if (waking_) {
+            co_await wakeDone_.wait();
+            continue;
+        }
+        waking_ = true;
+        wakeDone_.reset();
+        wakeups_.inc();
+        meter_.addPulse(rail_, spec_.wakeEnergyUj);
+        // During the wake transition the core draws active power (the
+        // paper's "high penalty in entering/exiting active power
+        // state").
+        setState(PowerState::Active);
+        co_await engine_.sleep(spec_.wakeLatency);
+        waking_ = false;
+        if (busyCount_ == 0) {
+            setState(PowerState::Idle);
+            armInactiveTimer();
+        }
+        wakeDone_.set();
+    }
+}
+
+sim::Task<void>
+Core::exec(std::uint64_t instructions)
+{
+    co_await ensureAwake();
+    beginBusy();
+    instrs_.inc(instructions);
+    co_await engine_.sleep(instrTime(instructions));
+    endBusy();
+}
+
+sim::Task<void>
+Core::execTime(sim::Duration d)
+{
+    co_await ensureAwake();
+    beginBusy();
+    co_await engine_.sleep(d);
+    endBusy();
+}
+
+sim::Duration
+Core::activeTime() const
+{
+    const sim::Time now = engine_.now();
+    residency_[static_cast<int>(state_)] += now - lastStateChange_;
+    lastStateChange_ = now;
+    return residency_[static_cast<int>(PowerState::Active)];
+}
+
+sim::Duration
+Core::idleTime() const
+{
+    activeTime(); // settle
+    return residency_[static_cast<int>(PowerState::Idle)];
+}
+
+sim::Duration
+Core::inactiveTime() const
+{
+    activeTime(); // settle
+    return residency_[static_cast<int>(PowerState::Inactive)];
+}
+
+} // namespace soc
+} // namespace k2

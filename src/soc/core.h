@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A simulated heterogeneous core with power-state accounting.
+ *
+ * Cores have three power states:
+ *  - Active: at least one execution (thread or interrupt handler) is
+ *    charging cycles; draws the current operating point's active power.
+ *  - Idle: clocked but waiting (WFI); draws idle power. After the
+ *    platform's inactive timeout elapses without any execution, the
+ *    core transitions to...
+ *  - Inactive: power-gated; draws ~0. Resuming execution charges the
+ *    wake latency and wake energy.
+ *
+ * Execution cost is expressed in *reference instructions*; a core
+ * converts them to cycles through its sustained IPC and to time through
+ * its operating frequency, which is how the strong/weak performance
+ * asymmetry (paper §9.2: the weak core delivers 20-70% of the strong
+ * core's 350 MHz performance) arises.
+ */
+
+#ifndef K2_SOC_CORE_H
+#define K2_SOC_CORE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "soc/config.h"
+#include "soc/power.h"
+
+namespace k2 {
+namespace soc {
+
+/** Core power state. */
+enum class PowerState { Active, Idle, Inactive };
+
+/** Printable name of a power state. */
+const char *powerStateName(PowerState s);
+
+class Core
+{
+  public:
+    Core(sim::Engine &eng, EnergyMeter &meter, RailId rail,
+         const CoreSpec &spec, const PlatformCosts &costs, CoreId id,
+         DomainId domain);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** @name Identity. @{ */
+    CoreId id() const { return id_; }
+    DomainId domain() const { return domain_; }
+    const CoreSpec &spec() const { return spec_; }
+    /** @} */
+
+    /** @name Frequency control. @{ */
+    std::uint64_t hz() const { return spec_.points[point_].hz; }
+    std::size_t operatingPoint() const { return point_; }
+    void setOperatingPoint(std::size_t idx);
+    /** @} */
+
+    /** Time to execute @p instructions at the current point. */
+    sim::Duration instrTime(std::uint64_t instructions) const;
+
+    /**
+     * Execute @p instructions of reference work on this core.
+     *
+     * Wakes the core if it is inactive (charging the penalty), holds it
+     * Active for the computed duration, then releases it (it becomes
+     * Idle if no other execution overlaps).
+     */
+    sim::Task<void> exec(std::uint64_t instructions);
+
+    /** Execute fixed-duration active work (e.g. device-register IO). */
+    sim::Task<void> execTime(sim::Duration d);
+
+    /** Wake the core if inactive; completes when it is usable. */
+    sim::Task<void> ensureAwake();
+
+    /**
+     * @name Active pinning.
+     *
+     * Hold the core in the Active state across an await of unknown
+     * duration (modelling a spin-wait, e.g. the DSM requester spinning
+     * for PutExclusive). The core must be awake. @{
+     */
+    void pinActive() { beginBusy(); }
+    void unpinActive() { endBusy(); }
+    /** @} */
+
+    /** Register a callback invoked after every power-state change. */
+    void
+    addStateListener(std::function<void(PowerState)> fn)
+    {
+        listeners_.push_back(std::move(fn));
+    }
+
+    /**
+     * Note that a thread ran on this core (called by the scheduler).
+     * Threads keep the core awake for the full inactive timeout;
+     * interrupt-only wakeups re-gate after the much shorter
+     * irqRegateTimeout.
+     */
+    void noteThreadActivity();
+
+    PowerState state() const { return state_; }
+    bool isInactive() const { return state_ == PowerState::Inactive; }
+
+    /** @name Residency statistics. @{ */
+    sim::Duration activeTime() const;
+    sim::Duration idleTime() const;
+    sim::Duration inactiveTime() const;
+    std::uint64_t wakeups() const { return wakeups_.value(); }
+    std::uint64_t instructionsRetired() const { return instrs_.value(); }
+    /** @} */
+
+  private:
+    void setState(PowerState s);
+    void beginBusy();
+    void endBusy();
+    std::vector<std::function<void(PowerState)>> listeners_;
+    void armInactiveTimer();
+    double powerFor(PowerState s) const;
+
+    sim::Engine &engine_;
+    EnergyMeter &meter_;
+    RailId rail_;
+    std::uint32_t client_;
+    CoreSpec spec_;
+    const PlatformCosts &costs_;
+    CoreId id_;
+    DomainId domain_;
+
+    std::size_t point_;
+    PowerState state_ = PowerState::Idle;
+    std::uint32_t busyCount_ = 0;
+    bool waking_ = false;
+    sim::Event wakeDone_;
+    sim::EventId inactiveTimer_;
+    std::uint64_t idleEpoch_ = 0;
+    sim::Time lastThreadActivity_ = 0;
+
+    // Residency bookkeeping.
+    mutable sim::Time lastStateChange_ = 0;
+    mutable sim::Duration residency_[3] = {0, 0, 0};
+    sim::Counter wakeups_;
+    sim::Counter instrs_;
+};
+
+} // namespace soc
+} // namespace k2
+
+#endif // K2_SOC_CORE_H

@@ -1,0 +1,67 @@
+#include "soc/domain.h"
+
+namespace k2 {
+namespace soc {
+
+CoherenceDomain::CoherenceDomain(sim::Engine &eng, EnergyMeter &meter,
+                                 const DomainSpec &spec,
+                                 const PlatformCosts &costs, DomainId id,
+                                 std::size_t num_irq_lines,
+                                 CoreId first_core_id)
+    : engine_(eng), spec_(spec), id_(id)
+{
+    rail_ = meter.addRail(spec.name);
+    std::vector<Core *> raw;
+    for (std::size_t i = 0; i < spec.numCores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            eng, meter, rail_, spec.core, costs,
+            first_core_id + static_cast<CoreId>(i), id));
+        raw.push_back(cores_.back().get());
+    }
+    irqCtrl_ = std::make_unique<InterruptController>(
+        eng, std::move(raw), num_irq_lines, spec.irqEntryInstr);
+
+    // The uncore (interconnect/L2/SCU) draws power whenever any core
+    // in the domain is not power-gated.
+    uncoreClient_ = meter.addClient(
+        rail_, allInactive() ? spec_.uncoreInactiveMw
+                             : spec_.uncoreActiveMw);
+    for (auto &c : cores_) {
+        c->addStateListener([this, &meter](PowerState) {
+            meter.setClientPower(rail_, uncoreClient_,
+                                 allInactive() ? spec_.uncoreInactiveMw
+                                               : spec_.uncoreActiveMw);
+        });
+    }
+}
+
+bool
+CoherenceDomain::allInactive() const
+{
+    for (const auto &c : cores_) {
+        if (!c->isInactive())
+            return false;
+    }
+    return true;
+}
+
+sim::Duration
+CoherenceDomain::flushTime(std::size_t bytes) const
+{
+    const std::size_t lines =
+        (bytes + spec_.cacheLineBytes - 1) / spec_.cacheLineBytes;
+    return static_cast<sim::Duration>(lines) * spec_.cacheLineFlush;
+}
+
+sim::Duration
+CoherenceDomain::refillTime(std::size_t bytes) const
+{
+    // A refill streams lines back in; charge roughly half the flush
+    // cost per line (no write-back needed).
+    const std::size_t lines =
+        (bytes + spec_.cacheLineBytes - 1) / spec_.cacheLineBytes;
+    return static_cast<sim::Duration>(lines) * (spec_.cacheLineFlush / 2);
+}
+
+} // namespace soc
+} // namespace k2

@@ -1,0 +1,103 @@
+#include "soc/irq.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace soc {
+
+InterruptController::InterruptController(sim::Engine &eng,
+                                         std::vector<Core *> cores,
+                                         std::size_t num_lines,
+                                         std::uint64_t entry_instr)
+    : engine_(eng), cores_(std::move(cores)), lines_(num_lines),
+      entryInstr_(entry_instr)
+{
+    K2_ASSERT(!cores_.empty());
+}
+
+void
+InterruptController::registerHandler(IrqLine line, IrqHandler handler)
+{
+    K2_ASSERT(line < lines_.size());
+    lines_[line].handler = std::move(handler);
+    setMasked(line, false);
+}
+
+void
+InterruptController::setMasked(IrqLine line, bool masked)
+{
+    K2_ASSERT(line < lines_.size());
+    Line &l = lines_[line];
+    l.masked = masked;
+    if (!masked && l.pending && l.handler) {
+        l.pending = false;
+        delivered_.inc();
+        engine_.spawn(deliver(line));
+    }
+}
+
+bool
+InterruptController::isMasked(IrqLine line) const
+{
+    K2_ASSERT(line < lines_.size());
+    return lines_[line].masked;
+}
+
+bool
+InterruptController::hasHandler(IrqLine line) const
+{
+    K2_ASSERT(line < lines_.size());
+    return static_cast<bool>(lines_[line].handler);
+}
+
+bool
+InterruptController::raise(IrqLine line)
+{
+    K2_ASSERT(line < lines_.size());
+    Line &l = lines_[line];
+    if (!l.handler) {
+        maskedDrops_.inc();
+        return false;
+    }
+    if (l.masked) {
+        // Latched; fires on unmask (standard level-triggered GIC
+        // behaviour).
+        l.pending = true;
+        maskedDrops_.inc();
+        return false;
+    }
+    delivered_.inc();
+    engine_.spawn(deliver(line));
+    return true;
+}
+
+Core &
+InterruptController::pickTargetCore()
+{
+    // Prefer an idle (but awake) core so we interrupt running work as
+    // rarely as possible; otherwise an active core; otherwise wake
+    // core 0.
+    for (Core *c : cores_) {
+        if (c->state() == PowerState::Idle)
+            return *c;
+    }
+    for (Core *c : cores_) {
+        if (c->state() == PowerState::Active)
+            return *c;
+    }
+    return *cores_.front();
+}
+
+sim::Task<void>
+InterruptController::deliver(IrqLine line)
+{
+    Core &core = pickTargetCore();
+    co_await core.ensureAwake();
+    co_await core.exec(entryInstr_);
+    // The handler may have been replaced, but never removed, since
+    // raise(); re-read it.
+    co_await lines_[line].handler(core);
+}
+
+} // namespace soc
+} // namespace k2

@@ -1,0 +1,61 @@
+#include "soc/mailbox.h"
+
+#include "sim/log.h"
+#include "soc/irq.h"
+
+namespace k2 {
+namespace soc {
+
+MailboxNet::MailboxNet(sim::Engine &eng, std::size_t num_domains,
+                       sim::Duration one_way)
+    : engine_(eng), oneWay_(one_way), fifos_(num_domains),
+      ctrls_(num_domains, nullptr)
+{}
+
+void
+MailboxNet::attachController(DomainId domain, InterruptController *ctrl)
+{
+    K2_ASSERT(domain < ctrls_.size());
+    ctrls_[domain] = ctrl;
+}
+
+void
+MailboxNet::send(DomainId from, DomainId to, std::uint32_t word)
+{
+    K2_ASSERT(from < fifos_.size());
+    K2_ASSERT(to < fifos_.size());
+    K2_ASSERT(from != to);
+    if (engine_.tracer().on(sim::TraceCat::Mail)) {
+        engine_.trace(sim::TraceCat::Mail,
+                      sim::strPrintf("mail %u -> %u word 0x%08x", from,
+                                     to, word));
+    }
+    engine_.after(oneWay_, [this, from, to, word]() {
+        fifos_[to].push_back(Mail{from, word});
+        delivered_.inc();
+        if (ctrls_[to])
+            ctrls_[to]->raise(kIrqMailbox);
+    });
+}
+
+std::optional<Mail>
+MailboxNet::tryRead(DomainId domain)
+{
+    K2_ASSERT(domain < fifos_.size());
+    auto &fifo = fifos_[domain];
+    if (fifo.empty())
+        return std::nullopt;
+    Mail m = fifo.front();
+    fifo.pop_front();
+    return m;
+}
+
+std::size_t
+MailboxNet::pending(DomainId domain) const
+{
+    K2_ASSERT(domain < fifos_.size());
+    return fifos_[domain].size();
+}
+
+} // namespace soc
+} // namespace k2

@@ -1,0 +1,46 @@
+#include "soc/soc.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace soc {
+
+Soc::Soc(sim::Engine &eng, SocConfig config)
+    : engine_(eng), config_(std::move(config)), meter_(eng)
+{
+    config_.validate();
+
+    CoreId next_core = 0;
+    for (DomainId id = 0; id < config_.domains.size(); ++id) {
+        domains_.push_back(std::make_unique<CoherenceDomain>(
+            eng, meter_, config_.domains[id], config_.costs, id,
+            config_.numIrqLines, next_core));
+        next_core += static_cast<CoreId>(config_.domains[id].numCores);
+    }
+
+    mailbox_ = std::make_unique<MailboxNet>(
+        eng, domains_.size(), config_.costs.mailboxOneWay);
+    for (DomainId id = 0; id < domains_.size(); ++id)
+        mailbox_->attachController(id, &domains_[id]->irqCtrl());
+
+    spinlocks_ = std::make_unique<HwSpinlockBank>(
+        eng, config_.numHwSpinlocks, config_.costs);
+
+    dma_ = std::make_unique<DmaEngine>(eng, config_.costs,
+                                       config_.numDmaChannels);
+    dma_->setCompletionIrq([this]() { raiseSharedIrq(kIrqDma); });
+}
+
+void
+Soc::raiseSharedIrq(IrqLine line)
+{
+    // The signal is physically wired to every domain; per-domain masks
+    // decide who accepts it. Controllers latch it pending when masked,
+    // which can later produce a spurious delivery -- handlers must (and
+    // ours do) check their device's status register.
+    for (auto &d : domains_)
+        d->irqCtrl().raise(line);
+}
+
+} // namespace soc
+} // namespace k2

@@ -1,0 +1,51 @@
+#include "svc/block.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+#include "soc/core.h"
+
+namespace k2 {
+namespace svc {
+
+RamDisk::RamDisk(std::size_t block_bytes, std::uint64_t num_blocks,
+                 std::uint64_t request_instr)
+    : blockBytes_(block_bytes), numBlocks_(num_blocks),
+      requestInstr_(request_instr), data_(block_bytes * num_blocks)
+{}
+
+sim::Duration
+RamDisk::copyTime(const kern::Thread &t) const
+{
+    const double bw =
+        const_cast<kern::Thread &>(t).core().spec().memBytesPerSec;
+    return static_cast<sim::Duration>(
+        static_cast<double>(blockBytes_) / bw * 1e12);
+}
+
+sim::Task<void>
+RamDisk::read(kern::Thread &t, std::uint64_t block,
+              std::span<std::uint8_t> out)
+{
+    K2_ASSERT(block < numBlocks_);
+    K2_ASSERT(out.size() == blockBytes_);
+    co_await t.exec(requestInstr_);
+    co_await t.execTime(copyTime(t));
+    std::memcpy(out.data(), &data_[block * blockBytes_], blockBytes_);
+    reads.inc();
+}
+
+sim::Task<void>
+RamDisk::write(kern::Thread &t, std::uint64_t block,
+               std::span<const std::uint8_t> in)
+{
+    K2_ASSERT(block < numBlocks_);
+    K2_ASSERT(in.size() == blockBytes_);
+    co_await t.exec(requestInstr_);
+    co_await t.execTime(copyTime(t));
+    std::memcpy(&data_[block * blockBytes_], in.data(), blockBytes_);
+    writes.inc();
+}
+
+} // namespace svc
+} // namespace k2

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Block-device interface and the RAM-backed disk used by the paper's
+ * ext2 benchmark (§9.2: "we use ramdisk as the underlying block
+ * device, as the SD card driver of K2 is not yet fully functional").
+ */
+
+#ifndef K2_SVC_BLOCK_H
+#define K2_SVC_BLOCK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "kern/thread.h"
+
+namespace k2 {
+namespace svc {
+
+/** A synchronous block device accessed from thread context. */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    virtual std::size_t blockBytes() const = 0;
+    virtual std::uint64_t numBlocks() const = 0;
+
+    /** Read one block into @p out (must be blockBytes() long). */
+    virtual sim::Task<void> read(kern::Thread &t, std::uint64_t block,
+                                 std::span<std::uint8_t> out) = 0;
+
+    /** Write one block from @p in (must be blockBytes() long). */
+    virtual sim::Task<void> write(kern::Thread &t, std::uint64_t block,
+                                  std::span<const std::uint8_t> in) = 0;
+};
+
+/**
+ * A RAM-backed block device.
+ *
+ * Transfers cost CPU time at the accessing core's memory-copy
+ * bandwidth plus a small fixed request overhead -- a ramdisk is "a
+ * much faster block device than real flash storage", which (as the
+ * paper notes) favours the baseline by shortening the idle periods
+ * that are expensive for strong cores.
+ */
+class RamDisk : public BlockDevice
+{
+  public:
+    RamDisk(std::size_t block_bytes, std::uint64_t num_blocks,
+            std::uint64_t request_instr = 150);
+
+    std::size_t blockBytes() const override { return blockBytes_; }
+    std::uint64_t numBlocks() const override { return numBlocks_; }
+
+    sim::Task<void> read(kern::Thread &t, std::uint64_t block,
+                         std::span<std::uint8_t> out) override;
+    sim::Task<void> write(kern::Thread &t, std::uint64_t block,
+                          std::span<const std::uint8_t> in) override;
+
+    /** @name Statistics. @{ */
+    sim::Counter reads;
+    sim::Counter writes;
+    /** @} */
+
+  private:
+    sim::Duration copyTime(const kern::Thread &t) const;
+
+    std::size_t blockBytes_;
+    std::uint64_t numBlocks_;
+    std::uint64_t requestInstr_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace svc
+} // namespace k2
+
+#endif // K2_SVC_BLOCK_H

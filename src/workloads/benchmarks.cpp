@@ -1,0 +1,149 @@
+#include "workloads/benchmarks.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+Workload
+dmaCopy(svc::DmaDriver &dma, std::uint64_t batch, std::uint64_t total)
+{
+    return [&dma, batch, total](
+               kern::Thread &t) -> sim::Task<std::uint64_t> {
+        std::uint64_t moved = 0;
+        while (moved < total) {
+            const std::uint64_t n = std::min(batch, total - moved);
+            co_await dma.transfer(t, n);
+            moved += n;
+        }
+        co_return moved;
+    };
+}
+
+Workload
+ext2Sync(svc::Ext2Fs &fs, std::uint64_t file_bytes, int num_files,
+         std::uint64_t chunk_bytes)
+{
+    return [&fs, file_bytes, num_files, chunk_bytes](
+               kern::Thread &t) -> sim::Task<std::uint64_t> {
+        std::vector<std::uint8_t> chunk(chunk_bytes, 0xA5);
+        std::uint64_t written = 0;
+        for (int i = 0; i < num_files; ++i) {
+            const std::string path =
+                "/sync" + std::to_string(i) + ".dat";
+            const std::int64_t fd = co_await fs.create(t, path);
+            K2_ASSERT(fd >= 0);
+            std::uint64_t remaining = file_bytes;
+            while (remaining > 0) {
+                const std::uint64_t n =
+                    std::min<std::uint64_t>(chunk_bytes, remaining);
+                const std::int64_t got = co_await fs.write(
+                    t, static_cast<int>(fd),
+                    std::span<const std::uint8_t>(chunk.data(), n));
+                K2_ASSERT(got == static_cast<std::int64_t>(n));
+                remaining -= n;
+                written += n;
+            }
+            co_await fs.close(t, static_cast<int>(fd));
+        }
+        // Clean up so repeated runs see the same filesystem state.
+        for (int i = 0; i < num_files; ++i) {
+            const std::string path =
+                "/sync" + std::to_string(i) + ".dat";
+            co_await fs.unlink(t, path);
+        }
+        co_return written;
+    };
+}
+
+Workload
+udpLoopback(svc::UdpStack &udp, std::uint64_t batch, std::uint64_t total,
+            std::uint64_t datagram_bytes)
+{
+    return [&udp, batch, total, datagram_bytes](
+               kern::Thread &t) -> sim::Task<std::uint64_t> {
+        std::uint64_t sent = 0;
+        while (sent < total) {
+            // (Re)create the socket pair for this batch.
+            const std::int64_t tx = co_await udp.socket(t);
+            const std::int64_t rx = co_await udp.socket(t);
+            K2_ASSERT(tx >= 0 && rx >= 0);
+            const std::int64_t rx_port =
+                co_await udp.bind(t, static_cast<int>(rx), 0);
+            K2_ASSERT(rx_port > 0);
+
+            std::uint64_t in_batch = 0;
+            const std::uint64_t this_batch =
+                std::min(batch, total - sent);
+            while (in_batch < this_batch) {
+                const std::uint64_t n = std::min<std::uint64_t>(
+                    datagram_bytes, this_batch - in_batch);
+                const std::int64_t s = co_await udp.sendTo(
+                    t, static_cast<int>(tx),
+                    static_cast<std::uint16_t>(rx_port), n);
+                K2_ASSERT(s == static_cast<std::int64_t>(n));
+                const std::int64_t r =
+                    co_await udp.recvFrom(t, static_cast<int>(rx));
+                K2_ASSERT(r == static_cast<std::int64_t>(n));
+                in_batch += n;
+            }
+            sent += in_batch;
+            co_await udp.close(t, static_cast<int>(tx));
+            co_await udp.close(t, static_cast<int>(rx));
+        }
+        co_return sent;
+    };
+}
+
+Workload
+emailSync(svc::UdpStack &udp, svc::Ext2Fs &fs, std::uint64_t fetch_bytes,
+          int seq)
+{
+    return [&udp, &fs, fetch_bytes, seq](
+               kern::Thread &t) -> sim::Task<std::uint64_t> {
+        // Fetch the message over the network path.
+        const std::int64_t tx = co_await udp.socket(t);
+        const std::int64_t rx = co_await udp.socket(t);
+        K2_ASSERT(tx >= 0 && rx >= 0);
+        const std::int64_t port =
+            co_await udp.bind(t, static_cast<int>(rx), 0);
+        std::uint64_t fetched = 0;
+        while (fetched < fetch_bytes) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(8192, fetch_bytes - fetched);
+            co_await udp.sendTo(t, static_cast<int>(tx),
+                                static_cast<std::uint16_t>(port), n);
+            const std::int64_t r =
+                co_await udp.recvFrom(t, static_cast<int>(rx));
+            fetched += static_cast<std::uint64_t>(r);
+        }
+        co_await udp.close(t, static_cast<int>(tx));
+        co_await udp.close(t, static_cast<int>(rx));
+
+        // Persist to storage.
+        const std::string path = "/mail" + std::to_string(seq) + ".eml";
+        const std::int64_t fd = co_await fs.create(t, path);
+        K2_ASSERT(fd >= 0);
+        std::vector<std::uint8_t> chunk(
+            std::min<std::uint64_t>(fetch_bytes, 32768), 0x42);
+        std::uint64_t stored = 0;
+        while (stored < fetch_bytes) {
+            const std::uint64_t n = std::min<std::uint64_t>(
+                chunk.size(), fetch_bytes - stored);
+            co_await fs.write(
+                t, static_cast<int>(fd),
+                std::span<const std::uint8_t>(chunk.data(), n));
+            stored += n;
+        }
+        co_await fs.close(t, static_cast<int>(fd));
+        co_await fs.unlink(t, path);
+        co_return fetched + stored;
+    };
+}
+
+} // namespace wl
+} // namespace k2

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's three OS benchmarks (§9.2), expressed as Workloads:
+ *
+ *  - DMA: repeated memory-to-memory DMA transfers, BatchSize bytes per
+ *    transfer, TotalSize bytes per run (Fig. 6a).
+ *  - ext2: a cloud-sync-like task that creates, writes, and closes
+ *    eight files of a given size on a ramdisk (Fig. 6b).
+ *  - UDP loopback: write to one socket / read from the other for
+ *    TotalSize bytes, recreating the socket pair every BatchSize
+ *    bytes (Fig. 6c).
+ */
+
+#ifndef K2_WORKLOADS_BENCHMARKS_H
+#define K2_WORKLOADS_BENCHMARKS_H
+
+#include <cstdint>
+
+#include "svc/dma_driver.h"
+#include "svc/ext2.h"
+#include "svc/udp.h"
+#include "workloads/episode.h"
+
+namespace k2 {
+namespace wl {
+
+/** Fig. 6a: DMA transfers of @p batch bytes until @p total moved. */
+Workload dmaCopy(svc::DmaDriver &dma, std::uint64_t batch,
+                 std::uint64_t total);
+
+/**
+ * Fig. 6b: create/write/close @p num_files files of @p file_bytes each
+ * (then unlink them so runs are repeatable). Writes go in
+ * @p chunk_bytes application buffers.
+ */
+Workload ext2Sync(svc::Ext2Fs &fs, std::uint64_t file_bytes,
+                  int num_files = 8, std::uint64_t chunk_bytes = 32768);
+
+/**
+ * Fig. 6c: UDP loopback; datagrams of up to @p datagram_bytes, socket
+ * pair recreated every @p batch bytes, @p total bytes overall.
+ */
+Workload udpLoopback(svc::UdpStack &udp, std::uint64_t batch,
+                     std::uint64_t total,
+                     std::uint64_t datagram_bytes = 8192);
+
+/**
+ * A background email-sync episode (for the standby estimate): fetch
+ * @p fetch_bytes over UDP loopback and persist them to the fs.
+ */
+Workload emailSync(svc::UdpStack &udp, svc::Ext2Fs &fs,
+                   std::uint64_t fetch_bytes, int seq);
+
+} // namespace wl
+} // namespace k2
+
+#endif // K2_WORKLOADS_BENCHMARKS_H

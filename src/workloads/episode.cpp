@@ -1,0 +1,73 @@
+#include "workloads/episode.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+namespace {
+
+EpisodeResult
+runEpisodeImpl(os::SystemImage &sys, kern::Process &proc,
+               const std::string &name, Workload workload,
+               bool nightwatch)
+{
+    sim::Engine &eng = sys.engine();
+
+    // Quiesce: drain everything pending (boot work, previous episodes,
+    // inactive-timer transitions).
+    eng.run();
+
+    const auto snap = sys.soc().meter().snapshot();
+    const sim::Time start = eng.now();
+
+    EpisodeResult res;
+    sim::Time done_at = 0;
+    auto body = [&, workload](kern::Thread &t) -> sim::Task<void> {
+        res.bytes = co_await workload(t);
+        done_at = eng.now();
+    };
+
+    if (nightwatch)
+        sys.spawnNightWatch(proc, name, body);
+    else
+        sys.spawnNormal(proc, name, body);
+
+    // Run through the workload and the full idle tail (the engine goes
+    // quiet only after the last inactive transition).
+    eng.run();
+
+    K2_ASSERT(done_at != 0);
+    res.runTime = done_at - start;
+    res.episodeTime = eng.now() - start;
+    res.energyUj = snap.totalUj(sys.soc().meter());
+    return res;
+}
+
+} // namespace
+
+EpisodeResult
+runEpisode(os::SystemImage &sys, kern::Process &proc,
+           const std::string &name, Workload workload)
+{
+    return runEpisodeImpl(sys, proc, name, std::move(workload), true);
+}
+
+EpisodeResult
+runEpisodeNormal(os::SystemImage &sys, kern::Process &proc,
+                 const std::string &name, Workload workload)
+{
+    return runEpisodeImpl(sys, proc, name, std::move(workload), false);
+}
+
+EpisodeResult
+runEpisodeWarm(os::SystemImage &sys, kern::Process &proc,
+               const std::string &name, Workload workload, int warmups)
+{
+    for (int i = 0; i < warmups; ++i)
+        runEpisodeImpl(sys, proc, name + "-warmup", workload, true);
+    return runEpisodeImpl(sys, proc, name, std::move(workload), true);
+}
+
+} // namespace wl
+} // namespace k2

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The light-task episode harness implementing the paper's energy
+ * methodology (§9.2): "in each run of a benchmark, cores are woken up,
+ * execute the workloads as fast as possible, and then stay idle until
+ * becoming inactive" -- so each run's energy includes the wakeup, the
+ * execution, and the full idle tail until power gating. Energy
+ * efficiency is reported in MB per joule.
+ */
+
+#ifndef K2_WORKLOADS_EPISODE_H
+#define K2_WORKLOADS_EPISODE_H
+
+#include <functional>
+#include <string>
+
+#include "sim/task.h"
+#include "os/system.h"
+
+namespace k2 {
+namespace wl {
+
+/** A workload body: runs in a thread, returns bytes of useful work. */
+using Workload = std::function<sim::Task<std::uint64_t>(kern::Thread &)>;
+
+/** Outcome of one benchmark episode. */
+struct EpisodeResult
+{
+    double energyUj = 0;          //!< Total across all rails.
+    sim::Duration runTime = 0;    //!< Workload start to completion.
+    sim::Duration episodeTime = 0; //!< Including the idle tail.
+    std::uint64_t bytes = 0;      //!< Useful bytes processed.
+
+    /** Energy efficiency in MB per joule (the paper's Fig. 6 metric). */
+    double
+    mbPerJoule() const
+    {
+        if (energyUj <= 0)
+            return 0;
+        return (static_cast<double>(bytes) / 1e6) / (energyUj / 1e6);
+    }
+
+    /** Throughput while running, in MB/s. */
+    double
+    mbPerSec() const
+    {
+        const double s = sim::toSec(runTime);
+        return s > 0 ? static_cast<double>(bytes) / 1e6 / s : 0;
+    }
+};
+
+/**
+ * Run one light-task episode on @p sys.
+ *
+ * Quiesces the system (drains the engine so every core reaches the
+ * inactive state), snapshots the energy meter, runs @p workload as a
+ * NightWatch thread (a plain thread on the baseline), and keeps
+ * simulating until the system quiesces again -- charging the idle tail
+ * to the episode, exactly as the paper's rail measurements do.
+ */
+EpisodeResult runEpisode(os::SystemImage &sys, kern::Process &proc,
+                         const std::string &name, Workload workload);
+
+/** As runEpisode, but runs the workload as a Normal thread. */
+EpisodeResult runEpisodeNormal(os::SystemImage &sys, kern::Process &proc,
+                               const std::string &name, Workload workload);
+
+/**
+ * Run @p warmups discarded episodes, then one measured episode.
+ *
+ * Warming matters under K2: the *first* touch of a shadowed service's
+ * state from the weak domain pulls the pages over through DSM mailbox
+ * requests, which wake the strong domain. In steady state the pages
+ * stay weak-owned, which is what the paper's repeated-run measurements
+ * observe.
+ */
+EpisodeResult runEpisodeWarm(os::SystemImage &sys, kern::Process &proc,
+                             const std::string &name, Workload workload,
+                             int warmups = 1);
+
+} // namespace wl
+} // namespace k2
+
+#endif // K2_WORKLOADS_EPISODE_H

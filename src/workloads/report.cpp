@@ -1,0 +1,89 @@
+#include "workloads/report.h"
+
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    K2_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += " " + row[c];
+            out += std::string(widths[c] - row[c].size() + 1, ' ');
+            out += "|";
+        }
+        return out + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    std::string sep = "|";
+    for (const auto w : widths)
+        sep += std::string(w + 2, '-') + "|";
+    out += sep + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluK",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+} // namespace wl
+} // namespace k2

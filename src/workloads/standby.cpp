@@ -1,0 +1,39 @@
+#include "workloads/standby.h"
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+double
+StandbyModel::baselineDrainMw() const
+{
+    const double seconds = baselineDays * 86400.0;
+    return capacityJ / seconds * 1000.0;
+}
+
+double
+StandbyModel::sleepMw() const
+{
+    return baselineDrainMw() * (1.0 - syncShareOfDrain);
+}
+
+double
+StandbyModel::linuxSyncMw() const
+{
+    return baselineDrainMw() * syncShareOfDrain;
+}
+
+double
+StandbyModel::standbyDays(double episode_ratio) const
+{
+    if (episode_ratio <= 0)
+        K2_FATAL("episode energy ratio must be positive (got %f)",
+                 episode_ratio);
+    const double total_mw = sleepMw() + linuxSyncMw() * episode_ratio;
+    const double seconds = capacityJ / (total_mw / 1000.0);
+    return seconds / 86400.0;
+}
+
+} // namespace wl
+} // namespace k2

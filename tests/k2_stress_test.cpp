@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Cross-kernel stress tests on the full K2 testbed: randomized
+ * interleavings of shadowed-service operations from both domains, with
+ * data-integrity and invariant checks. These are the system-level
+ * property tests for the shared-most model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "workloads/testbed.h"
+
+namespace k2 {
+namespace {
+
+using kern::Thread;
+using kern::ThreadKind;
+using sim::Task;
+
+/** Deterministic content byte for (file index, offset). */
+std::uint8_t
+patternByte(int file, std::size_t off)
+{
+    return static_cast<std::uint8_t>(file * 37 + off * 11 + 5);
+}
+
+class K2StressTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(K2StressTest, CrossKernelFsTrafficKeepsIntegrity)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+    sim::Rng rng(GetParam());
+
+    // Model of expected file contents, maintained alongside the ops.
+    std::map<int, std::size_t> expected_size;
+
+    constexpr int kFiles = 6;
+    for (int step = 0; step < 60; ++step) {
+        const bool on_shadow = rng.chance(0.5);
+        kern::Kernel &kern = on_shadow ? tb.k2()->shadowKernel()
+                                       : tb.sys().mainKernel();
+        const int file = static_cast<int>(rng.below(kFiles));
+        const std::string path = "/s" + std::to_string(file);
+        const auto op = rng.below(3);
+
+        kern.spawnThread(
+            &tb.proc(), "op", ThreadKind::Normal,
+            [&, file, path, op](Thread &t) -> Task<void> {
+                auto &fs = tb.fs();
+                if (op == 0) {
+                    // (Re)write the file with its pattern.
+                    if (expected_size.count(file))
+                        co_await fs.unlink(t, path);
+                    const std::size_t size = 512 + rng.below(8192);
+                    const std::int64_t fd = co_await fs.create(t, path);
+                    EXPECT_GE(fd, 0);
+                    std::vector<std::uint8_t> data(size);
+                    for (std::size_t i = 0; i < size; ++i)
+                        data[i] = patternByte(file, i);
+                    EXPECT_EQ(
+                        co_await fs.write(t, static_cast<int>(fd),
+                                          data),
+                        static_cast<std::int64_t>(size));
+                    co_await fs.close(t, static_cast<int>(fd));
+                    expected_size[file] = size;
+                } else if (op == 1 && expected_size.count(file)) {
+                    // Verify the whole file from this kernel.
+                    const std::int64_t fd = co_await fs.open(t, path);
+                    EXPECT_GE(fd, 0);
+                    std::vector<std::uint8_t> back(
+                        expected_size[file]);
+                    EXPECT_EQ(
+                        co_await fs.read(t, static_cast<int>(fd),
+                                         back),
+                        static_cast<std::int64_t>(back.size()));
+                    for (std::size_t i = 0; i < back.size(); ++i) {
+                        if (back[i] != patternByte(file, i)) {
+                            ADD_FAILURE()
+                                << "corruption in " << path
+                                << " at offset " << i;
+                            break;
+                        }
+                    }
+                    co_await fs.close(t, static_cast<int>(fd));
+                } else if (op == 2 && expected_size.count(file)) {
+                    EXPECT_EQ(co_await fs.unlink(t, path),
+                              svc::FsStatus::Ok);
+                    expected_size.erase(file);
+                }
+            });
+        tb.engine().run();
+    }
+
+    // Final sweep: every surviving file is intact, from the opposite
+    // kernel of the last writer for good measure.
+    for (const auto &[file, size] : expected_size) {
+        const std::string path = "/s" + std::to_string(file);
+        tb.k2()->shadowKernel().spawnThread(
+            &tb.proc(), "verify", ThreadKind::Normal,
+            [&, size = size, path](Thread &t) -> Task<void> {
+                auto st = co_await tb.fs().stat(t, path);
+                EXPECT_TRUE(st.has_value());
+                EXPECT_EQ(st->size, size);
+            });
+        tb.engine().run();
+    }
+}
+
+TEST_P(K2StressTest, CrossKernelUdpPipelines)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+    sim::Rng rng(GetParam());
+
+    // A receiver on the shadow kernel, senders on the main kernel.
+    constexpr std::uint16_t kPort = 6000;
+    std::uint64_t received = 0;
+    std::uint64_t sent = 0;
+    const int kPackets = 40;
+
+    auto &proc2 = tb.sys().createProcess("rx");
+    tb.k2()->shadowKernel().spawnThread(
+        &proc2, "rx", ThreadKind::Normal,
+        [&](Thread &t) -> Task<void> {
+            const std::int64_t s = co_await tb.udp().socket(t);
+            co_await tb.udp().bind(t, static_cast<int>(s), kPort);
+            for (int i = 0; i < kPackets; ++i) {
+                const std::int64_t n =
+                    co_await tb.udp().recvFrom(t, static_cast<int>(s));
+                EXPECT_GT(n, 0);
+                received += static_cast<std::uint64_t>(n);
+            }
+            co_await tb.udp().close(t, static_cast<int>(s));
+        });
+
+    tb.sys().spawnNormal(
+        tb.proc(), "tx", [&](Thread &t) -> Task<void> {
+            const std::int64_t s = co_await tb.udp().socket(t);
+            for (int i = 0; i < kPackets; ++i) {
+                const std::uint64_t n = 64 + rng.below(4096);
+                const std::int64_t r = co_await tb.udp().sendTo(
+                    t, static_cast<int>(s), kPort, n);
+                if (r > 0)
+                    sent += static_cast<std::uint64_t>(r);
+                co_await t.sleep(sim::usec(200));
+            }
+            co_await tb.udp().close(t, static_cast<int>(s));
+        });
+
+    tb.engine().run();
+    EXPECT_EQ(received, sent);
+    EXPECT_GT(tb.k2()->dsm().messagesSent(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, K2StressTest,
+                         ::testing::Values(3, 17, 91));
+
+TEST(K2Stress, ManyNightWatchProcessesProgressIndependently)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+
+    // Several processes each with a busy Normal thread and a
+    // NightWatch thread: every NW thread must still complete (§4.3:
+    // parallelism across processes is allowed; deferral is only
+    // within a process).
+    constexpr int kProcs = 4;
+    int nw_done = 0;
+    for (int p = 0; p < kProcs; ++p) {
+        auto &proc = tb.sys().createProcess("p" + std::to_string(p));
+        tb.sys().spawnNormal(proc, "busy",
+                             [&](Thread &t) -> Task<void> {
+                                 for (int i = 0; i < 5; ++i) {
+                                     co_await t.exec(700000); // 2 ms
+                                     co_await t.sleep(sim::msec(2));
+                                 }
+                             });
+        tb.sys().spawnNightWatch(proc, "nw",
+                                 [&](Thread &t) -> Task<void> {
+                                     co_await t.exec(16000); // 100 us
+                                     ++nw_done;
+                                 });
+    }
+    tb.engine().run();
+    EXPECT_EQ(nw_done, kProcs);
+}
+
+TEST(K2Stress, RepeatedSuspendResumeCyclesStaySane)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+    auto &nw = tb.k2()->nightWatch();
+
+    std::uint64_t nw_progress = 0;
+    tb.sys().spawnNightWatch(tb.proc(), "nw",
+                             [&](Thread &t) -> Task<void> {
+                                 for (int i = 0; i < 2000; ++i) {
+                                     co_await t.exec(2000);
+                                     ++nw_progress;
+                                 }
+                             });
+    // A Normal thread that wakes every millisecond, forcing
+    // suspend/resume cycles.
+    tb.sys().spawnNormal(tb.proc(), "ticker",
+                         [&](Thread &t) -> Task<void> {
+                             for (int i = 0; i < 50; ++i) {
+                                 co_await t.exec(35000); // 100 us
+                                 co_await t.sleep(sim::msec(1));
+                             }
+                         });
+    tb.engine().run();
+    EXPECT_EQ(nw_progress, 2000u);
+    EXPECT_GT(nw.suspendsSent.value(), 10u);
+    EXPECT_EQ(nw.suspendsSent.value(), nw.acksReceived.value());
+    EXPECT_GT(nw.resumesSent.value(), 10u);
+    EXPECT_FALSE(nw.isGated(tb.proc().pid()));
+}
+
+} // namespace
+} // namespace k2

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the §6.1 temporary IO-mapping protocol: identical virtual
+ * addresses in both kernels, asynchronous propagation, teardown, and
+ * window placement above the direct map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/k2_system.h"
+
+namespace k2::os {
+namespace {
+
+using kern::Thread;
+using kern::ThreadKind;
+using sim::Task;
+
+class IoMapTest : public ::testing::Test
+{
+  protected:
+    IoMapTest()
+    {
+        K2Config cfg;
+        cfg.soc.costs.inactiveTimeout = 0;
+        k2sys = std::make_unique<K2System>(cfg);
+        proc = &k2sys->createProcess("app");
+    }
+
+    void
+    runOn(kern::Kernel &kern, Thread::Body body)
+    {
+        kern.spawnThread(proc, "t", ThreadKind::Normal, std::move(body));
+        k2sys->ownedEngine().run();
+    }
+
+    std::unique_ptr<K2System> k2sys;
+    kern::Process *proc = nullptr;
+};
+
+TEST_F(IoMapTest, WindowSitsAboveDirectMap)
+{
+    const auto &layout = k2sys->layout();
+    EXPECT_EQ(k2sys->ioMapper().windowBase(),
+              layout.vaddrOf(layout.totalPages()));
+}
+
+TEST_F(IoMapTest, MappingPropagatesToPeerKernel)
+{
+    IoMapper::RegionId id = 0;
+    std::uint64_t vaddr = 0;
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        auto [rid, va] = co_await k2sys->ioMapper().mapIo(t, 4);
+        id = rid;
+        vaddr = va;
+        // Usable locally immediately.
+        EXPECT_TRUE(k2sys->ioMapper().isMapped(0, rid));
+    });
+    // After the engine drained, the peer has installed it too.
+    EXPECT_TRUE(k2sys->ioMapper().isMapped(1, id));
+    EXPECT_EQ(k2sys->ioMapper().vaddrOf(id), vaddr);
+    EXPECT_GE(vaddr, k2sys->ioMapper().windowBase());
+    EXPECT_EQ(k2sys->ioMapper().propagations.value(), 1u);
+}
+
+TEST_F(IoMapTest, MappingsFromBothKernelsGetDisjointAddresses)
+{
+    std::uint64_t va_main = 0;
+    std::uint64_t va_shadow = 0;
+    IoMapper::RegionId id_main = 0;
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        auto [rid, va] = co_await k2sys->ioMapper().mapIo(t, 2);
+        id_main = rid;
+        va_main = va;
+    });
+    runOn(k2sys->shadowKernel(), [&](Thread &t) -> Task<void> {
+        auto [rid, va] = co_await k2sys->ioMapper().mapIo(t, 2);
+        va_shadow = va;
+        (void)rid;
+    });
+    // Non-overlapping ranges, 2 pages apart.
+    EXPECT_EQ(va_shadow, va_main + 2 * 4096);
+    EXPECT_TRUE(k2sys->ioMapper().isMapped(0, id_main));
+}
+
+TEST_F(IoMapTest, UnmapPropagatesAndReleases)
+{
+    IoMapper::RegionId id = 0;
+    runOn(k2sys->shadowKernel(), [&](Thread &t) -> Task<void> {
+        auto [rid, va] = co_await k2sys->ioMapper().mapIo(t, 1);
+        (void)va;
+        id = rid;
+    });
+    ASSERT_TRUE(k2sys->ioMapper().isMapped(0, id));
+    // Tear down from the *other* kernel (single system image: either
+    // side may own the device teardown path).
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        co_await k2sys->ioMapper().unmapIo(t, id);
+    });
+    EXPECT_FALSE(k2sys->ioMapper().isMapped(0, id));
+    EXPECT_FALSE(k2sys->ioMapper().isMapped(1, id));
+    EXPECT_EQ(k2sys->ioMapper().maps.value(), 1u);
+    EXPECT_EQ(k2sys->ioMapper().unmaps.value(), 1u);
+}
+
+TEST_F(IoMapTest, CreationChargesTimeOnTheMappingKernel)
+{
+    sim::Duration main_cost = 0;
+    sim::Duration shadow_cost = 0;
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        const auto t0 = k2sys->ownedEngine().now();
+        (void)co_await k2sys->ioMapper().mapIo(t, 16);
+        main_cost = k2sys->ownedEngine().now() - t0;
+    });
+    runOn(k2sys->shadowKernel(), [&](Thread &t) -> Task<void> {
+        const auto t0 = k2sys->ownedEngine().now();
+        (void)co_await k2sys->ioMapper().mapIo(t, 16);
+        shadow_cost = k2sys->ownedEngine().now() - t0;
+    });
+    EXPECT_GT(main_cost, 0u);
+    // The weak kernel's page-table work is slower.
+    EXPECT_GT(shadow_cost, main_cost * 3);
+}
+
+} // namespace
+} // namespace k2::os

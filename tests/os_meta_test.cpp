@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the balloon drivers and the meta-level memory manager:
+ * placement policy, the peer BalloonGive path, failure handling, and
+ * conservation properties under randomized block traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "os/k2_system.h"
+
+namespace k2::os {
+namespace {
+
+using kern::PageRange;
+using kern::Thread;
+using kern::ThreadKind;
+using sim::Task;
+
+using BlockOwner = MetaLevelManager::BlockOwner;
+
+class MetaTest : public ::testing::Test
+{
+  protected:
+    MetaTest()
+    {
+        K2Config cfg;
+        cfg.soc.costs.inactiveTimeout = 0;
+        k2sys = std::make_unique<K2System>(cfg);
+        proc = &k2sys->createProcess("bench");
+    }
+
+    void
+    runOn(kern::Kernel &kern, Thread::Body body)
+    {
+        kern.spawnThread(proc, "t", ThreadKind::Normal, std::move(body));
+        k2sys->ownedEngine().run();
+    }
+
+    std::uint64_t
+    owned(BlockOwner who)
+    {
+        return k2sys->meta().blocksOwnedBy(who);
+    }
+
+    std::unique_ptr<K2System> k2sys;
+    kern::Process *proc = nullptr;
+};
+
+TEST_F(MetaTest, BlockAccountingConservation)
+{
+    const auto total = k2sys->meta().numBlocks();
+    EXPECT_EQ(owned(BlockOwner::Meta) + owned(BlockOwner::Main) +
+                  owned(BlockOwner::Shadow),
+              total);
+}
+
+TEST_F(MetaTest, DeflatePlacementFollowsPolicy)
+{
+    // Main deflates from the low end, shadow from the high end.
+    std::size_t main_got = 0;
+    std::size_t shadow_got = 0;
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        auto idx = co_await k2sys->meta().deflateOne(t);
+        main_got = *idx;
+    });
+    runOn(k2sys->shadowKernel(), [&](Thread &t) -> Task<void> {
+        auto idx = co_await k2sys->meta().deflateOne(t);
+        shadow_got = *idx;
+    });
+    // Main got the lowest Meta-owned block (just above its initial 8);
+    // shadow got the highest below its initial 2.
+    EXPECT_EQ(main_got, 8u);
+    EXPECT_EQ(shadow_got, k2sys->meta().numBlocks() - 3);
+}
+
+TEST_F(MetaTest, InflateReversesDeflate)
+{
+    const auto main_before = owned(BlockOwner::Main);
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        auto d = co_await k2sys->meta().deflateOne(t);
+        EXPECT_TRUE(d.has_value());
+        auto i = co_await k2sys->meta().inflateOne(t);
+        EXPECT_TRUE(i.has_value());
+        // Inflate takes from the opposite end: the same block that
+        // was just deflated is the main kernel's highest.
+        EXPECT_EQ(*i, *d);
+    });
+    EXPECT_EQ(owned(BlockOwner::Main), main_before);
+    k2sys->mainKernel().pageAllocator().checkInvariants();
+}
+
+TEST_F(MetaTest, InflateSkipsUnreclaimableBlocks)
+{
+    // Pin unmovable pages in the main kernel's highest block, then ask
+    // for an inflate: it must skip that block and take another.
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        auto &buddy = k2sys->mainKernel().pageAllocator();
+        // Unmovable allocations land at the *low* end; force one into
+        // high memory by exhausting everything else first.
+        std::vector<kern::Pfn> held;
+        for (;;) {
+            auto r = buddy.alloc(kern::BuddyAllocator::kMaxOrder,
+                                 kern::Migrate::Unmovable);
+            if (!r)
+                break;
+            held.push_back(r->range.first);
+        }
+        // Free all but the highest block, which stays unmovable.
+        std::sort(held.begin(), held.end());
+        for (std::size_t i = 0; i + 1 < held.size(); ++i)
+            buddy.free(held[i]);
+
+        auto i = co_await k2sys->meta().inflateOne(t);
+        EXPECT_TRUE(i.has_value());
+        buddy.free(held.back());
+        co_return;
+    });
+}
+
+TEST_F(MetaTest, PeerGivePathRebalancesMemory)
+{
+    // Drain K2's spare blocks into the main kernel...
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        while (co_await k2sys->meta().deflateOne(t))
+            ;
+    });
+    ASSERT_EQ(owned(BlockOwner::Meta), 0u);
+
+    // ...then create pressure on the shadow kernel. kmetad must ask
+    // the main kernel to inflate (BalloonGive) and then deflate the
+    // returned block locally.
+    const auto shadow_before = owned(BlockOwner::Shadow);
+    runOn(k2sys->shadowKernel(), [&](Thread &t) -> Task<void> {
+        std::vector<PageRange> held;
+        for (;;) {
+            PageRange r = co_await k2sys->allocPages(t, 10);
+            if (r.empty())
+                break;
+            held.push_back(r);
+        }
+        // Wait for the meta manager's background rebalancing.
+        co_await t.sleep(sim::msec(200));
+        PageRange r = co_await k2sys->allocPages(t, 10);
+        EXPECT_FALSE(r.empty())
+            << "kmetad should have pulled a block from the peer";
+        for (const auto &h : held)
+            co_await k2sys->freePages(t, h);
+    });
+    EXPECT_GT(owned(BlockOwner::Shadow), shadow_before);
+    EXPECT_GT(k2sys->meta().peerRequests.value(), 0u);
+    EXPECT_GT(k2sys->meta().pressureEvents.value(), 0u);
+}
+
+TEST_F(MetaTest, BalloonStatsTrackOperations)
+{
+    runOn(k2sys->mainKernel(), [&](Thread &t) -> Task<void> {
+        (void)co_await k2sys->meta().deflateOne(t);
+        (void)co_await k2sys->meta().inflateOne(t);
+    });
+    EXPECT_EQ(k2sys->meta().balloon(0).deflates.value(), 1u);
+    EXPECT_EQ(k2sys->meta().balloon(0).inflates.value(), 1u);
+}
+
+TEST_F(MetaTest, RandomBalloonTrafficConservesBlocks)
+{
+    sim::Rng rng(2024);
+    const auto total = k2sys->meta().numBlocks();
+    for (int step = 0; step < 40; ++step) {
+        const bool use_main = rng.chance(0.5);
+        kern::Kernel &kern = use_main ? k2sys->mainKernel()
+                                      : k2sys->shadowKernel();
+        const bool deflate = rng.chance(0.5);
+        runOn(kern, [&](Thread &t) -> Task<void> {
+            if (deflate)
+                (void)co_await k2sys->meta().deflateOne(t);
+            else
+                (void)co_await k2sys->meta().inflateOne(t);
+        });
+        EXPECT_EQ(owned(BlockOwner::Meta) + owned(BlockOwner::Main) +
+                      owned(BlockOwner::Shadow),
+                  total);
+        k2sys->mainKernel().pageAllocator().checkInvariants();
+        k2sys->shadowKernel().pageAllocator().checkInvariants();
+    }
+}
+
+} // namespace
+} // namespace k2::os

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Property tests for platform configurations and the address-space
+ * layout: the Figure-1 efficiency trend, config invariants across all
+ * shipped presets, and randomized layout construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "soc/config.h"
+#include "kern/layout.h"
+
+namespace k2 {
+namespace {
+
+TEST(Fig1Property, StrongCoreEfficiencyFallsWithFrequency)
+{
+    // The DVFS segment of Figure 1: higher operating points buy
+    // performance at *worse* energy efficiency (superlinear power).
+    const auto cfg = soc::omap4Config();
+    const auto &pts = cfg.domains[soc::kStrongDomain].core.points;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        const double eff_lo =
+            static_cast<double>(pts[i - 1].hz) / pts[i - 1].activeMw;
+        const double eff_hi =
+            static_cast<double>(pts[i].hz) / pts[i].activeMw;
+        EXPECT_LT(eff_hi, eff_lo) << "point " << i;
+        EXPECT_GT(pts[i].hz, pts[i - 1].hz);
+    }
+}
+
+TEST(Fig1Property, WeakDomainBeatsEveryStrongPointOnEfficiency)
+{
+    const auto cfg = soc::omap4Config();
+    const auto &strong = cfg.domains[soc::kStrongDomain].core;
+    const auto &weak = cfg.domains[soc::kWeakDomain].core;
+    const double weak_eff =
+        static_cast<double>(weak.points.back().hz) * weak.instrPerCycle /
+        weak.points.back().activeMw;
+    for (const auto &p : strong.points) {
+        const double strong_eff =
+            static_cast<double>(p.hz) * strong.instrPerCycle /
+            p.activeMw;
+        EXPECT_GT(weak_eff, strong_eff);
+    }
+    // And idle is where the real gap is (drives Figure 6).
+    EXPECT_GT(strong.idleMw / weak.idleMw, 5.0);
+}
+
+TEST(ConfigProperty, AllPresetsValidate)
+{
+    EXPECT_NO_THROW(soc::omap4Config().validate());
+    EXPECT_NO_THROW(soc::threeDomainConfig().validate());
+}
+
+TEST(ConfigProperty, PresetsShareTheBaseDomains)
+{
+    const auto two = soc::omap4Config();
+    const auto three = soc::threeDomainConfig();
+    ASSERT_GE(three.domains.size(), 2u);
+    EXPECT_EQ(three.domains[0].core.name, two.domains[0].core.name);
+    EXPECT_EQ(three.domains[1].core.name, two.domains[1].core.name);
+}
+
+class LayoutPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LayoutPropertyTest, RandomLayoutsKeepInvariants)
+{
+    sim::Rng rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::uint64_t total = 65536 + rng.below(1 << 20);
+        const std::size_t nlocals = 1 + rng.below(3);
+        std::vector<std::pair<std::string, std::uint64_t>> locals;
+        std::uint64_t budget = total / 2;
+        for (std::size_t i = 0; i < nlocals; ++i) {
+            const std::uint64_t pages = 1 + rng.below(budget / nlocals);
+            locals.emplace_back("k" + std::to_string(i), pages);
+        }
+        kern::AddressSpaceLayout layout(4096, total, locals);
+
+        // Locals are contiguous from 0, block-aligned, disjoint, and
+        // the global region fills the rest.
+        kern::Pfn expect_next = 0;
+        for (std::size_t i = 0; i < layout.numLocals(); ++i) {
+            const auto &r = layout.local(i).pages;
+            EXPECT_EQ(r.first, expect_next);
+            EXPECT_EQ(r.first % 4096, 0u);
+            EXPECT_EQ(r.count % 4096, 0u);
+            EXPECT_GE(r.count, locals[i].second);
+            expect_next = r.end();
+        }
+        EXPECT_EQ(layout.global().pages.first, expect_next);
+        EXPECT_EQ(layout.global().pages.end(), total);
+
+        // The virtual mapping is a bijection over the whole space.
+        for (int probe = 0; probe < 8; ++probe) {
+            const kern::Pfn pfn = rng.below(total);
+            EXPECT_EQ(layout.pfnOf(layout.vaddrOf(pfn)), pfn);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPropertyTest,
+                         ::testing::Values(1, 9, 81));
+
+} // namespace
+} // namespace k2

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for core power states, energy metering, and config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "soc/config.h"
+#include "soc/core.h"
+#include "soc/power.h"
+
+namespace k2::soc {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest()
+        : meter(eng), cfg(omap4Config())
+    {
+        rail = meter.addRail("test");
+        costs = cfg.costs;
+    }
+
+    Engine eng;
+    EnergyMeter meter;
+    SocConfig cfg;
+    RailId rail = 0;
+    PlatformCosts costs;
+};
+
+TEST_F(CoreTest, Omap4ConfigMatchesPaperTables)
+{
+    ASSERT_EQ(cfg.domains.size(), 2u);
+    const auto &strong = cfg.domains[kStrongDomain];
+    const auto &weak = cfg.domains[kWeakDomain];
+    EXPECT_EQ(strong.core.name, "Cortex-A9");
+    EXPECT_EQ(weak.core.name, "Cortex-M3");
+    // Table 3 power numbers.
+    EXPECT_DOUBLE_EQ(strong.core.points.front().activeMw, 79.8);
+    EXPECT_DOUBLE_EQ(strong.core.points.back().activeMw, 672.0);
+    EXPECT_DOUBLE_EQ(strong.core.idleMw, 25.2);
+    EXPECT_DOUBLE_EQ(weak.core.points.back().activeMw, 21.1);
+    EXPECT_DOUBLE_EQ(weak.core.idleMw, 3.8);
+    EXPECT_LT(strong.core.inactiveMw, 0.1);
+    EXPECT_LT(weak.core.inactiveMw, 0.1);
+    // Table 1 frequencies.
+    EXPECT_EQ(strong.core.points.front().hz, 350000000ull);
+    EXPECT_EQ(strong.core.points.back().hz, 1200000000ull);
+    EXPECT_EQ(weak.core.points.back().hz, 200000000ull);
+    // The paper's 5 us mailbox round trip.
+    EXPECT_EQ(2 * cfg.costs.mailboxOneWay, sim::usec(5));
+}
+
+TEST_F(CoreTest, ConfigValidationCatchesBadConfigs)
+{
+    SocConfig bad = cfg;
+    bad.domains.clear();
+    EXPECT_THROW(bad.validate(), sim::FatalError);
+
+    bad = cfg;
+    bad.pageBytes = 3000;
+    EXPECT_THROW(bad.validate(), sim::FatalError);
+
+    bad = cfg;
+    bad.domains[0].core.points.clear();
+    EXPECT_THROW(bad.validate(), sim::FatalError);
+
+    bad = cfg;
+    bad.domains[0].numCores = 0;
+    EXPECT_THROW(bad.validate(), sim::FatalError);
+}
+
+TEST_F(CoreTest, ExecChargesActiveTimeAndEnergy)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    // 350 MHz, IPC 1.0: 350000 instructions = 1 ms.
+    eng.spawn([](Core &core) -> Task<void> {
+        co_await core.exec(350000);
+    }(core));
+    eng.run(sim::msec(2));
+
+    EXPECT_EQ(core.activeTime(), sim::msec(1));
+    // Energy: 1 ms at 79.8 mW (active) + 1 ms at 25.2 mW (idle)
+    // = 79.8 uJ + 25.2 uJ.
+    EXPECT_NEAR(meter.energyUj(rail), 79.8 + 25.2, 0.5);
+}
+
+TEST_F(CoreTest, WeakCoreIsSlowerByFreqAndIpc)
+{
+    Core strong(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+                0, 0);
+    Core weak(eng, meter, rail, cfg.domains[kWeakDomain].core, costs,
+              1, 1);
+    const std::uint64_t n = 1000000;
+    const double ratio = static_cast<double>(weak.instrTime(n)) /
+                         static_cast<double>(strong.instrTime(n));
+    // (350e6 * 1.0) / (200e6 * 0.8) = 2.1875.
+    EXPECT_NEAR(ratio, 2.1875, 0.01);
+}
+
+TEST_F(CoreTest, IdleCoreBecomesInactiveAfterTimeout)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    EXPECT_EQ(core.state(), PowerState::Idle);
+    eng.run(costs.inactiveTimeout - sim::msec(1));
+    EXPECT_EQ(core.state(), PowerState::Idle);
+    eng.run(costs.inactiveTimeout + sim::msec(1));
+    EXPECT_EQ(core.state(), PowerState::Inactive);
+}
+
+TEST_F(CoreTest, ThreadActivityResetsInactiveTimer)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    eng.spawn([](Engine &eng, Core &core) -> Task<void> {
+        co_await eng.sleep(sim::sec(4));
+        co_await core.exec(1000);
+        core.noteThreadActivity(); // what the scheduler does
+    }(eng, core));
+    // At t=6s: the timer restarted at ~4s, so still idle.
+    eng.run(sim::sec(6));
+    EXPECT_EQ(core.state(), PowerState::Idle);
+    // By t=10s the post-activity timeout has elapsed.
+    eng.run(sim::sec(10));
+    EXPECT_EQ(core.state(), PowerState::Inactive);
+}
+
+TEST_F(CoreTest, IrqOnlyWakeRegatesQuickly)
+{
+    // A core woken from the gated state purely to run interrupt work
+    // re-gates after irqRegateTimeout, not the full 5 s (cpuidle).
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    eng.run(sim::sec(6));
+    ASSERT_TRUE(core.isInactive());
+    eng.spawn([](Core &core) -> Task<void> {
+        co_await core.exec(1000); // an ISR; no thread dispatched
+    }(core));
+    eng.run(sim::sec(6) + sim::msec(10));
+    EXPECT_TRUE(core.isInactive());
+    EXPECT_EQ(core.wakeups(), 1u);
+}
+
+TEST_F(CoreTest, WakeFromInactiveChargesPenalty)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    eng.run(sim::sec(6));
+    ASSERT_TRUE(core.isInactive());
+    const auto before = meter.snapshot();
+    const sim::Time start = eng.now();
+    sim::Time finished = 0;
+    eng.spawn([](Engine &eng, Core &core, sim::Time *fin) -> Task<void> {
+        co_await core.exec(350); // 1 us of work
+        *fin = eng.now();
+    }(eng, core, &finished));
+    eng.run();
+    EXPECT_EQ(core.wakeups(), 1u);
+    // Completion time includes the wake latency.
+    EXPECT_EQ(finished - start,
+              cfg.domains[kStrongDomain].core.wakeLatency + sim::usec(1));
+    // Energy includes the wake pulse.
+    EXPECT_GT(before.railUj(meter, rail),
+              cfg.domains[kStrongDomain].core.wakeEnergyUj);
+}
+
+TEST_F(CoreTest, ConcurrentWakersShareOneWakeup)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    eng.run(sim::sec(6));
+    ASSERT_TRUE(core.isInactive());
+    int done = 0;
+    for (int i = 0; i < 3; ++i) {
+        eng.spawn([](Core &core, int *done) -> Task<void> {
+            co_await core.ensureAwake();
+            ++*done;
+        }(core, &done));
+    }
+    eng.run();
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(core.wakeups(), 1u);
+}
+
+TEST_F(CoreTest, OverlappingExecsKeepCoreActive)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    // Two overlapping 1 ms executions, staggered by 0.5 ms (e.g. an
+    // interrupt handler overlapping a thread).
+    eng.spawn([](Core &core) -> Task<void> {
+        co_await core.exec(350000);
+    }(core));
+    eng.spawn([](Engine &eng, Core &core) -> Task<void> {
+        co_await eng.sleep(sim::usec(500));
+        co_await core.exec(350000);
+    }(eng, core));
+    eng.run(sim::msec(3));
+    // Active from 0 to 1.5 ms.
+    EXPECT_EQ(core.activeTime(), sim::usec(1500));
+}
+
+TEST_F(CoreTest, OperatingPointChangesSpeedAndPower)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    const auto slow = core.instrTime(1200000);
+    core.setOperatingPoint(cfg.domains[kStrongDomain].core.points.size() -
+                           1);
+    EXPECT_EQ(core.hz(), 1200000000ull);
+    const auto fast = core.instrTime(1200000);
+    EXPECT_NEAR(static_cast<double>(slow) / fast, 1200.0 / 350.0, 0.01);
+
+    eng.spawn([](Core &core) -> Task<void> {
+        co_await core.exec(1200000); // 1 ms at 1.2 GHz
+    }(core));
+    eng.run(sim::msec(1));
+    EXPECT_NEAR(meter.energyUj(rail), 672.0 * 0.001 * 1000, 1.0);
+}
+
+TEST_F(CoreTest, InvalidOperatingPointIsFatal)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    EXPECT_THROW(core.setOperatingPoint(99), sim::FatalError);
+}
+
+TEST_F(CoreTest, SnapshotMeasuresInterval)
+{
+    Core core(eng, meter, rail, cfg.domains[kStrongDomain].core, costs,
+              0, 0);
+    eng.spawn([](Core &core) -> Task<void> {
+        co_await core.exec(350000);
+    }(core));
+    eng.run(sim::msec(1));
+    const auto snap = meter.snapshot();
+    eng.run(sim::msec(2)); // 1 ms idle
+    EXPECT_NEAR(snap.railUj(meter, rail), 25.2 * 0.001 * 1000, 0.1);
+    EXPECT_NEAR(snap.totalUj(meter), 25.2 * 0.001 * 1000, 0.1);
+}
+
+} // namespace
+} // namespace k2::soc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests for the shadowed services:
+ * DMA channel exhaustion, UDP close-while-blocked, filesystem lock
+ * contention from both kernels, and spurious interrupt handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/testbed.h"
+
+namespace k2::svc {
+namespace {
+
+using kern::Thread;
+using kern::ThreadKind;
+using sim::Task;
+
+TEST(SvcEdge, DmaChannelExhaustionRetriesUntilFree)
+{
+    // A driver limited to 2 channels with 6 concurrent requesters:
+    // later requesters must wait for channels and still complete.
+    baseline::LinuxConfig cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    baseline::LinuxSystem sys(cfg);
+    DmaDriver dma(sys, 2);
+    dma.attachKernel(sys.mainKernel());
+    auto &proc = sys.createProcess("p");
+
+    int done = 0;
+    for (int i = 0; i < 6; ++i) {
+        sys.spawnNormal(proc, "t" + std::to_string(i),
+                        [&](Thread &t) -> Task<void> {
+                            co_await dma.transfer(t, 128 * 1024);
+                            ++done;
+                        });
+    }
+    sys.ownedEngine().run();
+    EXPECT_EQ(done, 6);
+    EXPECT_EQ(dma.transfers.value(), 6u);
+}
+
+TEST(SvcEdge, SpuriousDmaInterruptIsIgnored)
+{
+    auto tb = wl::Testbed::makeLinux();
+    // Raise the shared DMA line with no transfer outstanding: the ISR
+    // reads status 0 and must do nothing.
+    tb.sys().soc().raiseSharedIrq(soc::kIrqDma);
+    tb.engine().run();
+    EXPECT_EQ(tb.dma().irqsHandled.value(), 0u);
+    EXPECT_EQ(tb.dma().transfers.value(), 0u);
+}
+
+TEST(SvcEdge, UdpCloseWakesBlockedReceiver)
+{
+    auto tb = wl::Testbed::makeLinux();
+    std::int64_t recv_result = 0;
+    std::int64_t sock = -1;
+
+    tb.sys().spawnNormal(tb.proc(), "rx",
+                         [&](Thread &t) -> Task<void> {
+                             sock = co_await tb.udp().socket(t);
+                             co_await tb.udp().bind(
+                                 t, static_cast<int>(sock), 900);
+                             recv_result = co_await tb.udp().recvFrom(
+                                 t, static_cast<int>(sock));
+                         });
+    tb.sys().spawnNormal(tb.proc(), "closer",
+                         [&](Thread &t) -> Task<void> {
+                             co_await t.sleep(sim::msec(1));
+                             co_await tb.udp().close(
+                                 t, static_cast<int>(sock));
+                         });
+    tb.engine().run();
+    EXPECT_EQ(recv_result,
+              -static_cast<std::int64_t>(NetStatus::BadSocket));
+}
+
+TEST(SvcEdge, FsLockSerialisesCrossKernelWriters)
+{
+    // Two kernels appending to the same file through the shadowed fs:
+    // the hardware-spinlock-augmented lock must serialise them and all
+    // bytes must land.
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+
+    std::int64_t fd = -1;
+    tb.sys().spawnNormal(tb.proc(), "create",
+                         [&](Thread &t) -> Task<void> {
+                             fd = co_await tb.fs().create(t, "/shared");
+                         });
+    tb.engine().run();
+    ASSERT_GE(fd, 0);
+
+    int writers_done = 0;
+    auto writer = [&](Thread &t) -> Task<void> {
+        std::vector<std::uint8_t> chunk(1024, 0xCD);
+        for (int i = 0; i < 8; ++i)
+            co_await tb.fs().write(t, static_cast<int>(fd), chunk);
+        ++writers_done;
+    };
+    tb.sys().mainKernel().spawnThread(&tb.proc(), "w-main",
+                                      ThreadKind::Normal, writer);
+    auto &proc2 = tb.sys().createProcess("p2");
+    tb.k2()->shadowKernel().spawnThread(&proc2, "w-shadow",
+                                        ThreadKind::Normal, writer);
+    tb.engine().run();
+    EXPECT_EQ(writers_done, 2);
+
+    tb.sys().spawnNormal(tb.proc(), "check",
+                         [&](Thread &t) -> Task<void> {
+                             auto st = co_await tb.fs().stat(t, "/shared");
+                             // Both writers share one fd/offset: total
+                             // is exactly 16 KB.
+                             EXPECT_EQ(st->size, 16u * 1024);
+                             co_await tb.fs().close(
+                                 t, static_cast<int>(fd));
+                         });
+    tb.engine().run();
+    EXPECT_GT(tb.sys().soc().spinlocks().acquisitions(), 16u);
+}
+
+TEST(SvcEdge, RamDiskOutOfRangeAsserts)
+{
+    auto run_oob_read = []() {
+        auto tb = wl::Testbed::makeLinux();
+        tb.sys().spawnNormal(
+            tb.proc(), "oob", [&](Thread &t) -> Task<void> {
+                std::vector<std::uint8_t> buf(Ext2Fs::kBlockBytes);
+                co_await tb.disk().read(t, tb.disk().numBlocks() + 1,
+                                        buf);
+            });
+        tb.engine().run();
+    };
+    EXPECT_DEATH(run_oob_read(), "assertion");
+}
+
+TEST(SvcEdge, Ext2RejectsWrongBlockSize)
+{
+    baseline::LinuxSystem sys;
+    RamDisk small_blocks(512, 128);
+    EXPECT_THROW(Ext2Fs fs(sys, small_blocks), sim::FatalError);
+}
+
+TEST(SvcEdge, DmaDriverRejectsMoreChannelsThanEngine)
+{
+    baseline::LinuxSystem sys;
+    EXPECT_DEATH(DmaDriver(sys, 1000), "assertion");
+}
+
+} // namespace
+} // namespace k2::svc
