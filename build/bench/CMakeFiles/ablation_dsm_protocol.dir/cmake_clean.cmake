@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dsm_protocol.dir/ablation_dsm_protocol.cpp.o"
+  "CMakeFiles/ablation_dsm_protocol.dir/ablation_dsm_protocol.cpp.o.d"
+  "ablation_dsm_protocol"
+  "ablation_dsm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dsm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_allocator.dir/ablation_shared_allocator.cpp.o"
+  "CMakeFiles/ablation_shared_allocator.dir/ablation_shared_allocator.cpp.o.d"
+  "ablation_shared_allocator"
+  "ablation_shared_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

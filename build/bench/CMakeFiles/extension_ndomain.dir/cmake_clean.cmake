@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ndomain.dir/extension_ndomain.cpp.o"
+  "CMakeFiles/extension_ndomain.dir/extension_ndomain.cpp.o.d"
+  "extension_ndomain"
+  "extension_ndomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ndomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

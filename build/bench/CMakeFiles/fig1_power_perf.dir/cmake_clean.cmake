@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_power_perf.dir/fig1_power_perf.cpp.o"
+  "CMakeFiles/fig1_power_perf.dir/fig1_power_perf.cpp.o.d"
+  "fig1_power_perf"
+  "fig1_power_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_power_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

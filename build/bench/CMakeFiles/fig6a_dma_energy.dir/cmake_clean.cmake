@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_dma_energy.dir/fig6a_dma_energy.cpp.o"
+  "CMakeFiles/fig6a_dma_energy.dir/fig6a_dma_energy.cpp.o.d"
+  "fig6a_dma_energy"
+  "fig6a_dma_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_dma_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

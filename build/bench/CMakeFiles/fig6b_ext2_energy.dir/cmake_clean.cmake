@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_ext2_energy.dir/fig6b_ext2_energy.cpp.o"
+  "CMakeFiles/fig6b_ext2_energy.dir/fig6b_ext2_energy.cpp.o.d"
+  "fig6b_ext2_energy"
+  "fig6b_ext2_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_ext2_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

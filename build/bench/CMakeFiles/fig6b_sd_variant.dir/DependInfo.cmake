@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6b_sd_variant.cpp" "bench/CMakeFiles/fig6b_sd_variant.dir/fig6b_sd_variant.cpp.o" "gcc" "bench/CMakeFiles/fig6b_sd_variant.dir/fig6b_sd_variant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/k2_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/k2_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/k2_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/k2_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/k2_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/k2_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/k2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_sd_variant.dir/fig6b_sd_variant.cpp.o"
+  "CMakeFiles/fig6b_sd_variant.dir/fig6b_sd_variant.cpp.o.d"
+  "fig6b_sd_variant"
+  "fig6b_sd_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_sd_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal3_performance.dir/goal3_performance.cpp.o"
+  "CMakeFiles/goal3_performance.dir/goal3_performance.cpp.o.d"
+  "goal3_performance"
+  "goal3_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal3_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

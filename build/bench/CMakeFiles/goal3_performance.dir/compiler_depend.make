@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for goal3_performance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nightwatch_overhead.dir/nightwatch_overhead.cpp.o"
+  "CMakeFiles/nightwatch_overhead.dir/nightwatch_overhead.cpp.o.d"
+  "nightwatch_overhead"
+  "nightwatch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nightwatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

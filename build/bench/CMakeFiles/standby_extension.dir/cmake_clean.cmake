@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_extension.dir/standby_extension.cpp.o"
+  "CMakeFiles/standby_extension.dir/standby_extension.cpp.o.d"
+  "standby_extension"
+  "standby_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

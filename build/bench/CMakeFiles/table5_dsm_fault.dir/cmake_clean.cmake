@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dsm_fault.dir/table5_dsm_fault.cpp.o"
+  "CMakeFiles/table5_dsm_fault.dir/table5_dsm_fault.cpp.o.d"
+  "table5_dsm_fault"
+  "table5_dsm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dsm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_dma_concurrent.dir/table6_dma_concurrent.cpp.o"
+  "CMakeFiles/table6_dma_concurrent.dir/table6_dma_concurrent.cpp.o.d"
+  "table6_dma_concurrent"
+  "table6_dma_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_dma_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_sharing.dir/driver_sharing.cpp.o"
+  "CMakeFiles/driver_sharing.dir/driver_sharing.cpp.o.d"
+  "driver_sharing"
+  "driver_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

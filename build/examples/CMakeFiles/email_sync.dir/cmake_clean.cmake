@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_sync.dir/email_sync.cpp.o"
+  "CMakeFiles/email_sync.dir/email_sync.cpp.o.d"
+  "email_sync"
+  "email_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_logging.dir/sensor_logging.cpp.o"
+  "CMakeFiles/sensor_logging.dir/sensor_logging.cpp.o.d"
+  "sensor_logging"
+  "sensor_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_domain.dir/three_domain.cpp.o"
+  "CMakeFiles/three_domain.dir/three_domain.cpp.o.d"
+  "three_domain"
+  "three_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_baseline.dir/linux_system.cpp.o"
+  "CMakeFiles/k2_baseline.dir/linux_system.cpp.o.d"
+  "CMakeFiles/k2_baseline.dir/shared_alloc_system.cpp.o"
+  "CMakeFiles/k2_baseline.dir/shared_alloc_system.cpp.o.d"
+  "libk2_baseline.a"
+  "libk2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

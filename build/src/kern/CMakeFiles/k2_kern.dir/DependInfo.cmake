@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/buddy.cpp" "src/kern/CMakeFiles/k2_kern.dir/buddy.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/buddy.cpp.o.d"
+  "/root/repo/src/kern/kernel.cpp" "src/kern/CMakeFiles/k2_kern.dir/kernel.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/kernel.cpp.o.d"
+  "/root/repo/src/kern/layout.cpp" "src/kern/CMakeFiles/k2_kern.dir/layout.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/layout.cpp.o.d"
+  "/root/repo/src/kern/sched.cpp" "src/kern/CMakeFiles/k2_kern.dir/sched.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/sched.cpp.o.d"
+  "/root/repo/src/kern/service.cpp" "src/kern/CMakeFiles/k2_kern.dir/service.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/service.cpp.o.d"
+  "/root/repo/src/kern/thread.cpp" "src/kern/CMakeFiles/k2_kern.dir/thread.cpp.o" "gcc" "src/kern/CMakeFiles/k2_kern.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/k2_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/k2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

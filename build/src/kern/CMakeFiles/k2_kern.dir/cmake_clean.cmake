@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_kern.dir/buddy.cpp.o"
+  "CMakeFiles/k2_kern.dir/buddy.cpp.o.d"
+  "CMakeFiles/k2_kern.dir/kernel.cpp.o"
+  "CMakeFiles/k2_kern.dir/kernel.cpp.o.d"
+  "CMakeFiles/k2_kern.dir/layout.cpp.o"
+  "CMakeFiles/k2_kern.dir/layout.cpp.o.d"
+  "CMakeFiles/k2_kern.dir/sched.cpp.o"
+  "CMakeFiles/k2_kern.dir/sched.cpp.o.d"
+  "CMakeFiles/k2_kern.dir/service.cpp.o"
+  "CMakeFiles/k2_kern.dir/service.cpp.o.d"
+  "CMakeFiles/k2_kern.dir/thread.cpp.o"
+  "CMakeFiles/k2_kern.dir/thread.cpp.o.d"
+  "libk2_kern.a"
+  "libk2_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

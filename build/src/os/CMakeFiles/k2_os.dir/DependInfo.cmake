@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/balloon.cpp" "src/os/CMakeFiles/k2_os.dir/balloon.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/balloon.cpp.o.d"
+  "/root/repo/src/os/dsm.cpp" "src/os/CMakeFiles/k2_os.dir/dsm.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/dsm.cpp.o.d"
+  "/root/repo/src/os/io_mapper.cpp" "src/os/CMakeFiles/k2_os.dir/io_mapper.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/io_mapper.cpp.o.d"
+  "/root/repo/src/os/irq_router.cpp" "src/os/CMakeFiles/k2_os.dir/irq_router.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/irq_router.cpp.o.d"
+  "/root/repo/src/os/k2_system.cpp" "src/os/CMakeFiles/k2_os.dir/k2_system.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/k2_system.cpp.o.d"
+  "/root/repo/src/os/meta_manager.cpp" "src/os/CMakeFiles/k2_os.dir/meta_manager.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/meta_manager.cpp.o.d"
+  "/root/repo/src/os/ndsm.cpp" "src/os/CMakeFiles/k2_os.dir/ndsm.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/ndsm.cpp.o.d"
+  "/root/repo/src/os/nightwatch.cpp" "src/os/CMakeFiles/k2_os.dir/nightwatch.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/nightwatch.cpp.o.d"
+  "/root/repo/src/os/system.cpp" "src/os/CMakeFiles/k2_os.dir/system.cpp.o" "gcc" "src/os/CMakeFiles/k2_os.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/k2_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/k2_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/k2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

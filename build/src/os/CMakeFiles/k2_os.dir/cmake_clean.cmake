@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_os.dir/balloon.cpp.o"
+  "CMakeFiles/k2_os.dir/balloon.cpp.o.d"
+  "CMakeFiles/k2_os.dir/dsm.cpp.o"
+  "CMakeFiles/k2_os.dir/dsm.cpp.o.d"
+  "CMakeFiles/k2_os.dir/io_mapper.cpp.o"
+  "CMakeFiles/k2_os.dir/io_mapper.cpp.o.d"
+  "CMakeFiles/k2_os.dir/irq_router.cpp.o"
+  "CMakeFiles/k2_os.dir/irq_router.cpp.o.d"
+  "CMakeFiles/k2_os.dir/k2_system.cpp.o"
+  "CMakeFiles/k2_os.dir/k2_system.cpp.o.d"
+  "CMakeFiles/k2_os.dir/meta_manager.cpp.o"
+  "CMakeFiles/k2_os.dir/meta_manager.cpp.o.d"
+  "CMakeFiles/k2_os.dir/ndsm.cpp.o"
+  "CMakeFiles/k2_os.dir/ndsm.cpp.o.d"
+  "CMakeFiles/k2_os.dir/nightwatch.cpp.o"
+  "CMakeFiles/k2_os.dir/nightwatch.cpp.o.d"
+  "CMakeFiles/k2_os.dir/system.cpp.o"
+  "CMakeFiles/k2_os.dir/system.cpp.o.d"
+  "libk2_os.a"
+  "libk2_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

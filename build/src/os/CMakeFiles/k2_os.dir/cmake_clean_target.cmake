@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libk2_os.a"
+)

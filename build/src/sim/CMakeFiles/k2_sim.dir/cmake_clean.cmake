@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_sim.dir/engine.cpp.o"
+  "CMakeFiles/k2_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/k2_sim.dir/log.cpp.o"
+  "CMakeFiles/k2_sim.dir/log.cpp.o.d"
+  "CMakeFiles/k2_sim.dir/stats.cpp.o"
+  "CMakeFiles/k2_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/k2_sim.dir/sync.cpp.o"
+  "CMakeFiles/k2_sim.dir/sync.cpp.o.d"
+  "CMakeFiles/k2_sim.dir/trace.cpp.o"
+  "CMakeFiles/k2_sim.dir/trace.cpp.o.d"
+  "libk2_sim.a"
+  "libk2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/config.cpp" "src/soc/CMakeFiles/k2_soc.dir/config.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/config.cpp.o.d"
+  "/root/repo/src/soc/core.cpp" "src/soc/CMakeFiles/k2_soc.dir/core.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/core.cpp.o.d"
+  "/root/repo/src/soc/dma.cpp" "src/soc/CMakeFiles/k2_soc.dir/dma.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/dma.cpp.o.d"
+  "/root/repo/src/soc/domain.cpp" "src/soc/CMakeFiles/k2_soc.dir/domain.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/domain.cpp.o.d"
+  "/root/repo/src/soc/irq.cpp" "src/soc/CMakeFiles/k2_soc.dir/irq.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/irq.cpp.o.d"
+  "/root/repo/src/soc/mailbox.cpp" "src/soc/CMakeFiles/k2_soc.dir/mailbox.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/mailbox.cpp.o.d"
+  "/root/repo/src/soc/mmu.cpp" "src/soc/CMakeFiles/k2_soc.dir/mmu.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/mmu.cpp.o.d"
+  "/root/repo/src/soc/power.cpp" "src/soc/CMakeFiles/k2_soc.dir/power.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/power.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/k2_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/k2_soc.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/k2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_soc.dir/config.cpp.o"
+  "CMakeFiles/k2_soc.dir/config.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/core.cpp.o"
+  "CMakeFiles/k2_soc.dir/core.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/dma.cpp.o"
+  "CMakeFiles/k2_soc.dir/dma.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/domain.cpp.o"
+  "CMakeFiles/k2_soc.dir/domain.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/irq.cpp.o"
+  "CMakeFiles/k2_soc.dir/irq.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/mailbox.cpp.o"
+  "CMakeFiles/k2_soc.dir/mailbox.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/mmu.cpp.o"
+  "CMakeFiles/k2_soc.dir/mmu.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/power.cpp.o"
+  "CMakeFiles/k2_soc.dir/power.cpp.o.d"
+  "CMakeFiles/k2_soc.dir/soc.cpp.o"
+  "CMakeFiles/k2_soc.dir/soc.cpp.o.d"
+  "libk2_soc.a"
+  "libk2_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/block.cpp" "src/svc/CMakeFiles/k2_svc.dir/block.cpp.o" "gcc" "src/svc/CMakeFiles/k2_svc.dir/block.cpp.o.d"
+  "/root/repo/src/svc/dma_driver.cpp" "src/svc/CMakeFiles/k2_svc.dir/dma_driver.cpp.o" "gcc" "src/svc/CMakeFiles/k2_svc.dir/dma_driver.cpp.o.d"
+  "/root/repo/src/svc/ext2.cpp" "src/svc/CMakeFiles/k2_svc.dir/ext2.cpp.o" "gcc" "src/svc/CMakeFiles/k2_svc.dir/ext2.cpp.o.d"
+  "/root/repo/src/svc/sdcard.cpp" "src/svc/CMakeFiles/k2_svc.dir/sdcard.cpp.o" "gcc" "src/svc/CMakeFiles/k2_svc.dir/sdcard.cpp.o.d"
+  "/root/repo/src/svc/udp.cpp" "src/svc/CMakeFiles/k2_svc.dir/udp.cpp.o" "gcc" "src/svc/CMakeFiles/k2_svc.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/k2_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/k2_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/k2_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/k2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_svc.dir/block.cpp.o"
+  "CMakeFiles/k2_svc.dir/block.cpp.o.d"
+  "CMakeFiles/k2_svc.dir/dma_driver.cpp.o"
+  "CMakeFiles/k2_svc.dir/dma_driver.cpp.o.d"
+  "CMakeFiles/k2_svc.dir/ext2.cpp.o"
+  "CMakeFiles/k2_svc.dir/ext2.cpp.o.d"
+  "CMakeFiles/k2_svc.dir/sdcard.cpp.o"
+  "CMakeFiles/k2_svc.dir/sdcard.cpp.o.d"
+  "CMakeFiles/k2_svc.dir/udp.cpp.o"
+  "CMakeFiles/k2_svc.dir/udp.cpp.o.d"
+  "libk2_svc.a"
+  "libk2_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/k2_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/k2_workloads.dir/episode.cpp.o"
+  "CMakeFiles/k2_workloads.dir/episode.cpp.o.d"
+  "CMakeFiles/k2_workloads.dir/report.cpp.o"
+  "CMakeFiles/k2_workloads.dir/report.cpp.o.d"
+  "CMakeFiles/k2_workloads.dir/standby.cpp.o"
+  "CMakeFiles/k2_workloads.dir/standby.cpp.o.d"
+  "CMakeFiles/k2_workloads.dir/testbed.cpp.o"
+  "CMakeFiles/k2_workloads.dir/testbed.cpp.o.d"
+  "libk2_workloads.a"
+  "libk2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_stress_test.dir/k2_stress_test.cpp.o"
+  "CMakeFiles/k2_stress_test.dir/k2_stress_test.cpp.o.d"
+  "k2_stress_test"
+  "k2_stress_test.pdb"
+  "k2_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

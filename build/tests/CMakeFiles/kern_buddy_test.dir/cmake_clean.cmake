@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_buddy_test.dir/kern_buddy_test.cpp.o"
+  "CMakeFiles/kern_buddy_test.dir/kern_buddy_test.cpp.o.d"
+  "kern_buddy_test"
+  "kern_buddy_test.pdb"
+  "kern_buddy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_buddy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_property_test.dir/kern_property_test.cpp.o"
+  "CMakeFiles/kern_property_test.dir/kern_property_test.cpp.o.d"
+  "kern_property_test"
+  "kern_property_test.pdb"
+  "kern_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

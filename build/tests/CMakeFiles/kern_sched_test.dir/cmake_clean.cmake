@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_sched_test.dir/kern_sched_test.cpp.o"
+  "CMakeFiles/kern_sched_test.dir/kern_sched_test.cpp.o.d"
+  "kern_sched_test"
+  "kern_sched_test.pdb"
+  "kern_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_dsm_test.dir/os_dsm_test.cpp.o"
+  "CMakeFiles/os_dsm_test.dir/os_dsm_test.cpp.o.d"
+  "os_dsm_test"
+  "os_dsm_test.pdb"
+  "os_dsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_dsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_meta_test.dir/os_meta_test.cpp.o"
+  "CMakeFiles/os_meta_test.dir/os_meta_test.cpp.o.d"
+  "os_meta_test"
+  "os_meta_test.pdb"
+  "os_meta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_ndsm_test.dir/os_ndsm_test.cpp.o"
+  "CMakeFiles/os_ndsm_test.dir/os_ndsm_test.cpp.o.d"
+  "os_ndsm_test"
+  "os_ndsm_test.pdb"
+  "os_ndsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_ndsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_core_test.dir/soc_core_test.cpp.o"
+  "CMakeFiles/soc_core_test.dir/soc_core_test.cpp.o.d"
+  "soc_core_test"
+  "soc_core_test.pdb"
+  "soc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_fs_test.dir/svc_fs_test.cpp.o"
+  "CMakeFiles/svc_fs_test.dir/svc_fs_test.cpp.o.d"
+  "svc_fs_test"
+  "svc_fs_test.pdb"
+  "svc_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_net_dma_test.dir/svc_net_dma_test.cpp.o"
+  "CMakeFiles/svc_net_dma_test.dir/svc_net_dma_test.cpp.o.d"
+  "svc_net_dma_test"
+  "svc_net_dma_test.pdb"
+  "svc_net_dma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_net_dma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

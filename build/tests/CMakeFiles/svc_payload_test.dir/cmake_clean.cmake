@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_payload_test.dir/svc_payload_test.cpp.o"
+  "CMakeFiles/svc_payload_test.dir/svc_payload_test.cpp.o.d"
+  "svc_payload_test"
+  "svc_payload_test.pdb"
+  "svc_payload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_payload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_sdcard_test.dir/svc_sdcard_test.cpp.o"
+  "CMakeFiles/svc_sdcard_test.dir/svc_sdcard_test.cpp.o.d"
+  "svc_sdcard_test"
+  "svc_sdcard_test.pdb"
+  "svc_sdcard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_sdcard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

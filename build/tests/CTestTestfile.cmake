@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_util_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_buddy_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/os_dsm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_system_test[1]_include.cmake")
+include("/root/repo/build/tests/svc_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/svc_net_dma_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/os_ndsm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_meta_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/k2_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_property_test[1]_include.cmake")
+include("/root/repo/build/tests/os_iomap_test[1]_include.cmake")
+include("/root/repo/build/tests/svc_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/svc_sdcard_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_config_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/svc_payload_test[1]_include.cmake")
