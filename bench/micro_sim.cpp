@@ -1,31 +1,147 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator's own hot paths:
- * event dispatch, coroutine task spawn/await, buddy-allocator
- * operations, and TLB lookups. These bound how fast the paper's
- * experiments simulate (host-side performance, not modelled time).
+ * event dispatch, coroutine task spawn/await, sleep/resume chains,
+ * buddy-allocator operations, and TLB lookups. These bound how fast
+ * the paper's experiments simulate (host-side performance, not
+ * modelled time).
+ *
+ * This binary replaces global operator new/delete with counting
+ * versions, so every engine benchmark reports an "allocs/op" counter:
+ * heap allocations per iteration. The pooled event core is expected to
+ * be allocation-free on the dispatch and sleep/resume paths; that is
+ * asserted hard (abort) at the end of BM_SleepResume, not just
+ * reported.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "soc/mmu.h"
 #include "kern/buddy.h"
 
+// ---------------------------------------------------------------------
+// Allocation-counting hook: replaces the global allocation functions
+// for this binary. Only the count of allocations matters (frees are
+// not tracked); relaxed atomics keep the hook cheap.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocCount{0};
+
+std::uint64_t
+allocCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                 (size + static_cast<std::size_t>(align) - 1) &
+                                     ~(static_cast<std::size_t>(align) - 1));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
 namespace {
 
 using namespace k2;
+
+/** Attach an allocations-per-iteration counter to @p state. */
+void
+reportAllocs(benchmark::State &state, std::uint64_t before)
+{
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(allocCount() - before) /
+        (iters > 0 ? iters : 1));
+}
 
 void
 BM_EngineEventDispatch(benchmark::State &state)
 {
     sim::Engine eng;
     std::uint64_t sink = 0;
+    // Warm the pool and queue storage so the timed region measures
+    // steady-state behaviour.
+    eng.after(sim::nsec(1), [&sink]() { ++sink; });
+    eng.runOne();
+    const std::uint64_t allocs0 = allocCount();
     for (auto _ : state) {
         eng.after(sim::nsec(1), [&sink]() { ++sink; });
         eng.runOne();
     }
+    reportAllocs(state, allocs0);
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EngineEventDispatch);
@@ -42,13 +158,83 @@ BM_TaskSpawnAndRun(benchmark::State &state)
 {
     sim::Engine eng;
     int sink = 0;
+    eng.spawn(trivialTask(&sink));
+    eng.run();
+    const std::uint64_t allocs0 = allocCount();
     for (auto _ : state) {
         eng.spawn(trivialTask(&sink));
         eng.run();
     }
+    reportAllocs(state, allocs0);
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_TaskSpawnAndRun);
+
+sim::Task<void>
+sleepLoop(sim::Engine &eng, const bool *stop, std::uint64_t *laps)
+{
+    while (!*stop) {
+        co_await eng.sleep(sim::nsec(1));
+        ++*laps;
+    }
+}
+
+/**
+ * The dominant operation in every experiment: an already-running
+ * coroutine sleeping and being resumed by the event loop. Each
+ * iteration is one sleep -> dispatch -> resume cycle; the pooled
+ * engine must do this with zero heap allocations (hard-asserted
+ * below).
+ */
+void
+BM_SleepResume(benchmark::State &state)
+{
+    sim::Engine eng;
+    bool stop = false;
+    std::uint64_t laps = 0;
+    eng.spawn(sleepLoop(eng, &stop, &laps));
+    // Start the coroutine; it parks on its first sleep.
+    eng.runOne();
+    const std::uint64_t allocs0 = allocCount();
+    for (auto _ : state)
+        eng.runOne(); // one sleep/resume cycle
+    reportAllocs(state, allocs0);
+
+    // Hard assertion: the sleep/resume fast path is allocation-free.
+    const std::uint64_t check0 = allocCount();
+    for (int i = 0; i < 1024; ++i)
+        eng.runOne();
+    const std::uint64_t leaked = allocCount() - check0;
+    if (leaked != 0) {
+        std::fprintf(stderr,
+                     "FATAL: sleep/resume path performed %llu heap "
+                     "allocations over 1024 events (expected 0)\n",
+                     static_cast<unsigned long long>(leaked));
+        std::abort();
+    }
+
+    stop = true;
+    eng.runOne(); // let the coroutine observe stop and finish
+    benchmark::DoNotOptimize(laps);
+}
+BENCHMARK(BM_SleepResume);
+
+/** Timer churn as device models do it: arm, cancel, re-arm. */
+void
+BM_TimerArmCancel(benchmark::State &state)
+{
+    sim::Engine eng;
+    std::uint64_t sink = 0;
+    sim::EventId pending = eng.after(sim::usec(5), [&sink]() { ++sink; });
+    const std::uint64_t allocs0 = allocCount();
+    for (auto _ : state) {
+        eng.cancel(pending);
+        pending = eng.after(sim::usec(5), [&sink]() { ++sink; });
+    }
+    reportAllocs(state, allocs0);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TimerArmCancel);
 
 sim::Task<void>
 chainedTask(sim::Engine &eng, int depth)

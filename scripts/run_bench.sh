@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the micro_sim google-benchmark suite and record the results as
+# BENCH_sim.json at the repo root. That file is the tracked host-side
+# performance baseline: future PRs compare their numbers against it
+# and re-record it when they move the needle.
+#
+# Usage: scripts/run_bench.sh [build-dir]
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
+cmake --build "$BUILD_DIR" --target micro_sim
+
+"$BUILD_DIR/bench/micro_sim" \
+    --benchmark_format=json \
+    --benchmark_out="$ROOT/BENCH_sim.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.5
+
+echo
+echo "wrote $ROOT/BENCH_sim.json"

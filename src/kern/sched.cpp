@@ -187,11 +187,8 @@ Scheduler::coreLoop(soc::Core &core)
         if (postSwitch_)
             co_await postSwitch_(*t, core);
 
-        if (engine_.tracer().on(sim::TraceCat::Sched)) {
-            engine_.trace(sim::TraceCat::Sched,
-                          sim::strPrintf("dispatch '%s' on core %u",
-                                         t->name().c_str(), core.id()));
-        }
+        K2_TRACE(engine_, sim::TraceCat::Sched, "dispatch '%s' on core %u",
+                 t->name().c_str(), core.id());
         t->state_ = Thread::State::Running;
         t->core_ = &core;
         t->dispatchedAt_ = engine_.now();

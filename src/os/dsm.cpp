@@ -141,14 +141,11 @@ Dsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
         // ---- Full fault path (Table 5). ----
         FaultStats &st = stats_[k];
         st.faults.inc();
-        if (soc_.engine().tracer().on(sim::TraceCat::Dsm)) {
-            soc_.engine().trace(
-                sim::TraceCat::Dsm,
-                sim::strPrintf("%s faults on page %llu (%s)",
-                               kernels_[k]->name().c_str(),
-                               static_cast<unsigned long long>(page),
-                               rw == Access::Write ? "W" : "R"));
-        }
+        K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                 "%s faults on page %llu (%s)",
+                 kernels_[k]->name().c_str(),
+                 static_cast<unsigned long long>(page),
+                 rw == Access::Write ? "W" : "R");
         pi.outstanding[k] = true;
         pi.upgrade[k] = (pi.state[k] == PState::Shared);
         pi.raced[k] = false;
@@ -267,14 +264,11 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
         pi.state[owner] = PState::Invalid;
     }
     pi.lastServiceTime = soc_.engine().now() - t_start;
-    if (soc_.engine().tracer().on(sim::TraceCat::Dsm)) {
-        soc_.engine().trace(
-            sim::TraceCat::Dsm,
-            sim::strPrintf("%s services page %llu (%s)",
-                           kernels_[owner]->name().c_str(),
-                           static_cast<unsigned long long>(page),
-                           dirty ? "flush" : "clean"));
-    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+             "%s services page %llu (%s)",
+             kernels_[owner]->name().c_str(),
+             static_cast<unsigned long long>(page),
+             dirty ? "flush" : "clean");
 
     messages_.inc();
     kernels_[owner]->sendMail(

@@ -31,12 +31,9 @@ IrqRouter::applyRouting(bool to_weak)
         return;
     routedToWeak_ = to_weak;
     reroutes_.inc();
-    if (soc_.engine().tracer().on(sim::TraceCat::Irq)) {
-        soc_.engine().trace(
-            sim::TraceCat::Irq,
-            sim::strPrintf("shared IRQs rerouted to %s domain",
-                           to_weak ? "weak" : "strong"));
-    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Irq,
+             "shared IRQs rerouted to %s domain",
+             to_weak ? "weak" : "strong");
     if (to_weak) {
         // Unmask on the weak domain first so no interrupt is lost in
         // the window, then mask on the strong domain.

@@ -158,12 +158,8 @@ MetaLevelManager::deflateOne(kern::Thread &t)
     owners_[*idx] = ownerEnum(k);
     soc_.spinlocks().release(cfg_.spinlockIdx);
 
-    if (soc_.engine().tracer().on(sim::TraceCat::Mem)) {
-        soc_.engine().trace(
-            sim::TraceCat::Mem,
-            sim::strPrintf("deflate block %zu -> %s", *idx,
-                           kernels_[k]->name().c_str()));
-    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Mem, "deflate block %zu -> %s",
+             *idx, kernels_[k]->name().c_str());
     co_await balloons_[k]->deflate(t, blockRange(*idx));
     co_return idx;
 }
@@ -186,12 +182,9 @@ MetaLevelManager::inflateOne(kern::Thread &t)
                                               t.core());
             owners_[*idx] = BlockOwner::Meta;
             soc_.spinlocks().release(cfg_.spinlockIdx);
-            if (soc_.engine().tracer().on(sim::TraceCat::Mem)) {
-                soc_.engine().trace(
-                    sim::TraceCat::Mem,
-                    sim::strPrintf("inflate block %zu <- %s", *idx,
-                                   kernels_[k]->name().c_str()));
-            }
+            K2_TRACE(soc_.engine(), sim::TraceCat::Mem,
+                     "inflate block %zu <- %s", *idx,
+                     kernels_[k]->name().c_str());
             co_return idx;
         }
         // Evacuation failed (unmovable pages); try the next candidate.

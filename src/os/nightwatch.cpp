@@ -74,11 +74,8 @@ NightWatch::preSwitch(kern::Thread &next, soc::Core &core)
     st.ackPending = true;
     st.ack->reset();
     suspendsSent.inc();
-    if (soc_.engine().tracer().on(sim::TraceCat::Nw)) {
-        soc_.engine().trace(sim::TraceCat::Nw,
-                            sim::strPrintf("SuspendNW pid %u",
-                                           proc.pid()));
-    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Nw, "SuspendNW pid %u",
+             proc.pid());
     main_.sendMail(shadow_.domainId(),
                    encodeMessage(MsgType::SuspendNw,
                                  proc.pid() & kPayloadMask, 0));
@@ -110,11 +107,8 @@ NightWatch::onProcessBlocked(kern::Process &proc)
         return;
     it->second.gated = false;
     resumesSent.inc();
-    if (soc_.engine().tracer().on(sim::TraceCat::Nw)) {
-        soc_.engine().trace(sim::TraceCat::Nw,
-                            sim::strPrintf("ResumeNW pid %u",
-                                           proc.pid()));
-    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Nw, "ResumeNW pid %u",
+             proc.pid());
     main_.sendMail(shadow_.domainId(),
                    encodeMessage(MsgType::ResumeNw,
                                  proc.pid() & kPayloadMask, 0));

@@ -7,18 +7,38 @@
  * are bit-for-bit deterministic. Coroutines interact with the engine
  * through awaitables (sleep) and by being spawned as detached top-level
  * activities.
+ *
+ * The event core is allocation-free on its common paths:
+ *
+ *  - Event records live in an engine-owned slab pool and are addressed
+ *    by a {slot, generation} handle (EventId). Cancelling bumps the
+ *    slot's generation, so stale handles (including handles to events
+ *    that already fired) are detected and ignored even after the slot
+ *    has been reused.
+ *  - The payload is tagged, not type-erased through std::function: a
+ *    raw coroutine handle (used by sleep()/resumeLater()/spawn()), an
+ *    inline small-buffer callable for typical device-model lambdas
+ *    (up to kInlineCapture bytes of capture, no heap), or an
+ *    out-of-line fallback for large captures.
+ *  - Pending events sit in an engine-owned 4-ary min-heap of small POD
+ *    entries; pop-min moves entries in place (no copy-out of a
+ *    type-erased callback) and cancelled entries are dropped as soon
+ *    as they surface at the top.
  */
 
 #ifndef K2_SIM_ENGINE_H
 #define K2_SIM_ENGINE_H
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/log.h"
 #include "sim/task.h"
 #include "sim/time.h"
 #include "sim/trace.h"
@@ -26,30 +46,32 @@
 namespace k2 {
 namespace sim {
 
-/** Handle used to cancel a scheduled event. */
+/**
+ * Handle used to cancel a scheduled event.
+ *
+ * A cheap {slot, generation} pair into the Engine's event pool. Copies
+ * alias the same event; once the event fires or is cancelled the slot's
+ * generation moves on and every outstanding handle becomes a no-op.
+ */
 class EventId
 {
   public:
     EventId() = default;
 
     /** True if this handle refers to an event (possibly already run). */
-    bool valid() const { return static_cast<bool>(record_); }
+    bool valid() const { return slot_ != kInvalidSlot; }
 
   private:
     friend class Engine;
 
-    struct Record
-    {
-        std::function<void()> fn;
-        bool cancelled = false;
-        bool fired = false;
-    };
+    static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
 
-    explicit EventId(std::shared_ptr<Record> r)
-        : record_(std::move(r))
+    EventId(std::uint32_t slot, std::uint32_t gen)
+        : slot_(slot), gen_(gen)
     {}
 
-    std::shared_ptr<Record> record_;
+    std::uint32_t slot_ = kInvalidSlot;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -58,9 +80,13 @@ class EventId
 class Engine
 {
   public:
+    /** Callable captures up to this size are stored inline (no heap). */
+    static constexpr std::size_t kInlineCapture = 4 * sizeof(void *);
+
     Engine() = default;
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
+    ~Engine();
 
     /** Current simulated time. */
     Time now() const { return now_; }
@@ -68,14 +94,56 @@ class Engine
     /**
      * Schedule a callback at an absolute simulated time.
      *
+     * Small callables (<= kInlineCapture bytes of capture) are stored
+     * inline in the event pool; larger ones fall back to one heap
+     * allocation.
+     *
      * @param when Absolute time; must be >= now().
      * @param fn Callback to run.
      * @return Handle usable with cancel().
      */
-    EventId at(Time when, std::function<void()> fn);
+    template <typename F>
+    EventId
+    at(Time when, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        Slot s = allocSlot(when);
+        try {
+            if constexpr (sizeof(Fn) <= kInlineCapture &&
+                          alignof(Fn) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<Fn>) {
+                ::new (static_cast<void *>(s.rec->payload.buf))
+                    Fn(std::forward<F>(fn));
+                s.rec->kind = Record::Kind::Inline;
+                s.rec->manager = &inlineManager<Fn>;
+            } else {
+                s.rec->payload.heap = new Fn(std::forward<F>(fn));
+                s.rec->kind = Record::Kind::Heap;
+                s.rec->manager = &heapManager<Fn>;
+            }
+        } catch (...) {
+            // The capture's copy/move or the heap allocation threw;
+            // unschedule the already-queued record.
+            ++staleEntries_;
+            freeSlot(s.slot, *s.rec);
+            throw;
+        }
+        return EventId(s.slot, s.rec->gen);
+    }
 
     /** Schedule a callback after a relative delay. */
-    EventId after(Duration delay, std::function<void()> fn);
+    template <typename F>
+    EventId
+    after(Duration delay, F &&fn)
+    {
+        return at(now_ + delay, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule a coroutine resume at an absolute time (fast path: no
+     * callable wrapper, no allocation).
+     */
+    EventId atResume(Time when, std::coroutine_handle<> h);
 
     /** Cancel a pending event; no-op if it already ran. */
     void cancel(EventId &id);
@@ -101,7 +169,7 @@ class Engine
         void
         await_suspend(std::coroutine_handle<> h)
         {
-            engine_.at(engine_.now() + delay_, [h]() { h.resume(); });
+            engine_.atResume(engine_.now() + delay_, h);
         }
 
         void await_resume() const {}
@@ -115,7 +183,7 @@ class Engine
     SleepAwaiter sleep(Duration d) { return SleepAwaiter(*this, d); }
 
     /** Resume a coroutine handle at the current time (as an event). */
-    void resumeLater(std::coroutine_handle<> h);
+    void resumeLater(std::coroutine_handle<> h) { atResume(now_, h); }
 
     /**
      * Run events until the queue is empty or simulated time would
@@ -132,8 +200,11 @@ class Engine
     /** Number of events dispatched since construction. */
     std::uint64_t eventsDispatched() const { return dispatched_; }
 
-    /** Number of events currently pending. */
-    std::size_t pendingEvents() const { return queue_.size(); }
+    /** Number of live (not cancelled) pending events. */
+    std::size_t pendingEvents() const { return live_; }
+
+    /** Total event-record slots ever allocated (pool high-water). */
+    std::size_t poolCapacity() const { return allocatedSlots_; }
 
     /** The engine's trace ring buffer (disabled by default). */
     Tracer &tracer() { return tracer_; }
@@ -141,7 +212,7 @@ class Engine
 
     /** Record a trace event at the current time (cheap when the
      *  category is disabled -- check tracer().on(cat) before
-     *  formatting). */
+     *  formatting, or use K2_TRACE which does it for you). */
     void
     trace(TraceCat cat, std::string text)
     {
@@ -149,32 +220,172 @@ class Engine
     }
 
   private:
-    struct QueueEntry
+    /** Operations a payload manager implements for its callable. */
+    enum class CbOp
+    {
+        Invoke,   //!< Call the callable.
+        Destroy,  //!< Destroy (and, for heap payloads, free) it.
+        Relocate, //!< Move-construct into @p dst, destroy the source.
+    };
+
+    using Manager = void (*)(CbOp op, void *obj, void *dst);
+
+    /** One pooled event record. Slots are recycled through a free
+     *  list; gen disambiguates incarnations of the same slot. */
+    struct Record
+    {
+        enum class Kind : std::uint8_t
+        {
+            Free,   //!< On the free list.
+            Coro,   //!< payload.coro: raw coroutine handle.
+            Inline, //!< payload.buf: callable stored in place.
+            Heap,   //!< payload.heap: pointer to heap callable.
+        };
+
+        union Payload
+        {
+            std::coroutine_handle<> coro;
+            void *heap;
+            alignas(std::max_align_t) unsigned char buf[kInlineCapture];
+
+            Payload()
+                : heap(nullptr)
+            {}
+        };
+
+        Payload payload;
+        Manager manager = nullptr;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = EventId::kInvalidSlot;
+        Kind kind = Kind::Free;
+    };
+
+    /** Pending-event heap entry: POD, moved freely during sifts. */
+    struct HeapEntry
     {
         Time when;
         std::uint64_t seq;
-        std::shared_ptr<EventId::Record> record;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct Later
+    struct Slot
     {
-        bool
-        operator()(const QueueEntry &a, const QueueEntry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        Record *rec;
+        std::uint32_t slot;
     };
+
+    /** Destroys a dispatched callable even if invoking it throws. */
+    struct PayloadGuard
+    {
+        Manager mgr;
+        void *obj;
+
+        ~PayloadGuard() { mgr(CbOp::Destroy, obj, nullptr); }
+    };
+
+    template <typename Fn>
+    static void
+    inlineManager(CbOp op, void *obj, void *dst)
+    {
+        Fn *f = static_cast<Fn *>(obj);
+        switch (op) {
+          case CbOp::Invoke:
+            (*f)();
+            break;
+          case CbOp::Destroy:
+            f->~Fn();
+            break;
+          case CbOp::Relocate:
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+            break;
+        }
+    }
+
+    template <typename Fn>
+    static void
+    heapManager(CbOp op, void *obj, void *)
+    {
+        Fn *f = static_cast<Fn *>(obj);
+        switch (op) {
+          case CbOp::Invoke:
+            (*f)();
+            break;
+          case CbOp::Destroy:
+            delete f;
+            break;
+          case CbOp::Relocate:
+            break; // heap payloads move by pointer; nothing to do
+        }
+    }
+
+    /** Pop a record slot off the free list (growing the pool by one
+     *  slab if needed) and push its heap entry for time @p when. */
+    Slot allocSlot(Time when);
+
+    /** Return a slot to the free list, invalidating outstanding
+     *  handles via the generation bump. */
+    void freeSlot(std::uint32_t slot, Record &r);
+
+    /** Destroy a pending record's payload without running it. */
+    void destroyPayload(Record &r);
+
+    /** Run the record in @p slot (frees the slot before invoking so
+     *  the callback may freely reschedule). */
+    void dispatch(std::uint32_t slot, Record &r);
+
+    Record &
+    rec(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+    }
+
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void heapPush(const HeapEntry &e);
+    void heapPopTop();
+    void siftDown(std::size_t i);
+
+    /** Rebuild the heap without its cancelled (stale) entries. Called
+     *  when they outnumber the live ones, so a cancel-heavy workload
+     *  (timer re-arming) cannot grow the queue unboundedly. */
+    void compactHeap();
+
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
 
     Time now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t dispatched_ = 0;
+    std::size_t live_ = 0;
+    std::size_t staleEntries_ = 0;
     Tracer tracer_;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+    std::vector<HeapEntry> heap_;
+    std::vector<std::unique_ptr<Record[]>> chunks_;
+    std::uint32_t freeHead_ = EventId::kInvalidSlot;
+    std::uint32_t allocatedSlots_ = 0;
 };
 
 } // namespace sim
 } // namespace k2
+
+/**
+ * Record a trace event, formatting lazily: the printf-style arguments
+ * are only evaluated when @p cat is enabled on @p eng's tracer.
+ * @p eng and @p cat are evaluated more than once; keep them
+ * side-effect free.
+ */
+#define K2_TRACE(eng, cat, ...)                                             \
+    do {                                                                    \
+        if ((eng).tracer().on(cat))                                         \
+            (eng).trace((cat), ::k2::sim::strPrintf(__VA_ARGS__));          \
+    } while (0)
 
 #endif // K2_SIM_ENGINE_H

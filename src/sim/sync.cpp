@@ -1,6 +1,5 @@
 #include "sim/sync.h"
 
-#include <memory>
 #include <vector>
 
 namespace k2 {
@@ -8,14 +7,23 @@ namespace sim {
 
 namespace {
 
+/** Join state shared by whenAll() and its children. Lives in the
+ *  whenAll() coroutine frame, which outlives every child: the frame is
+ *  only destroyed after the last child sets `done` and the deferred
+ *  wakeup resumes (and finishes) whenAll(). */
+struct JoinState
+{
+    std::size_t remaining;
+    Event done;
+};
+
 Task<void>
-runAndCount(Task<void> task, std::shared_ptr<std::size_t> remaining,
-            std::shared_ptr<Event> done)
+runAndCount(Task<void> task, JoinState *join)
 {
     co_await task;
-    K2_ASSERT(*remaining > 0);
-    if (--*remaining == 0)
-        done->set();
+    K2_ASSERT(join->remaining > 0);
+    if (--join->remaining == 0)
+        join->done.set();
 }
 
 } // namespace
@@ -25,12 +33,11 @@ whenAll(Engine &eng, std::vector<Task<void>> tasks)
 {
     if (tasks.empty())
         co_return;
-    auto remaining = std::make_shared<std::size_t>(tasks.size());
-    auto done = std::make_shared<Event>(eng);
+    JoinState join{tasks.size(), Event(eng)};
     for (auto &t : tasks)
-        eng.spawn(runAndCount(std::move(t), remaining, done));
+        eng.spawn(runAndCount(std::move(t), &join));
     tasks.clear();
-    co_await done->wait();
+    co_await join.done.wait();
 }
 
 } // namespace sim

@@ -25,11 +25,8 @@ MailboxNet::send(DomainId from, DomainId to, std::uint32_t word)
     K2_ASSERT(from < fifos_.size());
     K2_ASSERT(to < fifos_.size());
     K2_ASSERT(from != to);
-    if (engine_.tracer().on(sim::TraceCat::Mail)) {
-        engine_.trace(sim::TraceCat::Mail,
-                      sim::strPrintf("mail %u -> %u word 0x%08x", from,
-                                     to, word));
-    }
+    K2_TRACE(engine_, sim::TraceCat::Mail, "mail %u -> %u word 0x%08x",
+             from, to, word);
     engine_.after(oneWay_, [this, from, to, word]() {
         fifos_[to].push_back(Mail{from, word});
         delivered_.inc();
