@@ -9,15 +9,20 @@
  * Demonstrates: multiple shadowed services composed in one light task,
  * interrupt routing to the weak domain, and the single system image --
  * a Normal thread later reads the log the NightWatch thread wrote.
+ *
+ * Pass a filename to also export a Chrome trace of the run:
+ *     sensor_logging trace.json   # then open in chrome://tracing
  */
 
 #include <cstdio>
+#include <fstream>
 
+#include "obs/trace_export.h"
 #include "workloads/report.h"
 #include "workloads/testbed.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace k2;
     using kern::Thread;
@@ -26,6 +31,9 @@ main()
     wl::banner("Example: sensor logging on the weak domain");
 
     auto tb = wl::Testbed::makeK2();
+    const char *trace_file = argc > 1 ? argv[1] : nullptr;
+    if (trace_file)
+        tb.engine().tracer().enableSpans();
 
     constexpr int kBatches = 12;
     constexpr std::uint64_t kFifoBytes = 16 * 1024; // sensor FIFO drain
@@ -90,6 +98,17 @@ main()
     if (logged != read_back) {
         std::printf("DATA MISMATCH\n");
         return 1;
+    }
+    if (trace_file) {
+        std::ofstream out(trace_file);
+        if (!out) {
+            std::printf("cannot write %s\n", trace_file);
+            return 1;
+        }
+        obs::writeChromeTrace(tb.engine().tracer(), out);
+        std::printf("\nChrome trace written to %s (load it in "
+                    "chrome://tracing).\n",
+                    trace_file);
     }
     std::printf("\nThe log written by the weak domain was read intact "
                 "by the strong domain -- one namespace, one "

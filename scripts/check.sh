@@ -25,3 +25,14 @@ fi
 cmake -B "$BUILD_DIR" -S . -G Ninja "${EXTRA[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Observability smoke: one short testbed run must emit a metrics
+# snapshot and a Chrome trace that both parse as JSON.
+OBS_DIR="$BUILD_DIR/obs-smoke"
+mkdir -p "$OBS_DIR"
+"$BUILD_DIR"/src/workloads/testbed --episodes=3 \
+    --metrics="$OBS_DIR/metrics.json" --trace="$OBS_DIR/trace.json" \
+    >/dev/null
+python3 -m json.tool "$OBS_DIR/metrics.json" >/dev/null
+python3 -m json.tool "$OBS_DIR/trace.json" >/dev/null
+echo "observability smoke: metrics + trace JSON OK"

@@ -17,6 +17,8 @@ Scheduler::Scheduler(sim::Engine &eng, std::vector<soc::Core *> cores,
         ParkedCore pc;
         pc.core = c;
         pc.wake = std::make_unique<sim::Event>(eng);
+        pc.track = engine_.addTrack(sim::strPrintf(
+            "kern.domain%u.core%u.sched", c->domain(), c->id()));
         parked_.push_back(std::move(pc));
     }
 }
@@ -158,6 +160,11 @@ Scheduler::noteBlockedOrDone(Thread &t)
 sim::Task<void>
 Scheduler::coreLoop(soc::Core &core)
 {
+    sim::TrackId track = 0;
+    for (const auto &pc : parked_) {
+        if (pc.core == &core)
+            track = pc.track;
+    }
     for (;;) {
         Thread *t = pickNext();
         if (!t) {
@@ -193,6 +200,12 @@ Scheduler::coreLoop(soc::Core &core)
         t->core_ = &core;
         t->dispatchedAt_ = engine_.now();
         co_await t->dispatch();
+        // One "run" slice per dispatch, labelled with the thread name,
+        // so the trace shows what each core actually executed.
+        if (engine_.tracer().spansOn())
+            engine_.tracer().spanCompleteStr(
+                t->dispatchedAt_, engine_.now() - t->dispatchedAt_, track,
+                "run", t->name());
         core.noteThreadActivity();
         for (auto &pc : parked_) {
             if (pc.core == &core)

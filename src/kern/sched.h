@@ -113,6 +113,7 @@ class Scheduler
         std::unique_ptr<sim::Event> wake;
         bool parked = false;
         sim::Time lastRan = 0;
+        sim::TrackId track = 0; //!< Span track for dispatch slices.
     };
     std::vector<ParkedCore> parked_;
     SwitchHook preSwitch_;

@@ -1,0 +1,154 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace k2 {
+namespace obs {
+
+namespace {
+
+/** Escape a string for inclusion in a JSON string literal. */
+void
+jsonEscape(std::ostream &os, const char *s)
+{
+    for (; *s; ++s) {
+        const unsigned char c = static_cast<unsigned char>(*s);
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+}
+
+/** Simulated picoseconds as catapult microseconds, exactly. */
+void
+emitUs(std::ostream &os, sim::Time ps)
+{
+    // Integer-split so the text is exact and deterministic (no
+    // double rounding): 1 us = 1e6 ps.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(ps / 1000000ull),
+                  static_cast<unsigned long long>(ps % 1000000ull));
+    os << buf;
+}
+
+void
+emitValue(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const sim::Tracer &tracer, std::ostream &os)
+{
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+    // Process + per-track thread metadata. tid 0 is reserved for the
+    // process-name record; track n maps to tid n+1.
+    os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+          "\"process_name\", \"args\": {\"name\": \"k2-sim\"}}";
+    const auto &tracks = tracer.trackNames();
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        os << ",\n{\"ph\": \"M\", \"pid\": 0, \"tid\": " << (i + 1)
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+        jsonEscape(os, tracks[i].c_str());
+        os << "\"}}";
+        os << ",\n{\"ph\": \"M\", \"pid\": 0, \"tid\": " << (i + 1)
+           << ", \"name\": \"thread_sort_index\", \"args\": "
+              "{\"sort_index\": "
+           << (i + 1) << "}}";
+    }
+
+    for (const auto &e : tracer.spanEvents()) {
+        os << ",\n{\"pid\": 0, \"tid\": " << (e.track + 1)
+           << ", \"ts\": ";
+        emitUs(os, e.ts);
+        const char *name = e.name ? e.name : "";
+        switch (e.phase) {
+          case sim::SpanPhase::Begin:
+            os << ", \"ph\": \"B\", \"name\": \"";
+            jsonEscape(os, name);
+            os << "\"";
+            break;
+          case sim::SpanPhase::End:
+            os << ", \"ph\": \"E\"";
+            break;
+          case sim::SpanPhase::Complete:
+            os << ", \"ph\": \"X\", \"dur\": ";
+            emitUs(os, e.dur);
+            os << ", \"name\": \"";
+            jsonEscape(os, name);
+            os << "\"";
+            break;
+          case sim::SpanPhase::Instant:
+            os << ", \"ph\": \"i\", \"s\": \"t\", \"name\": \"";
+            jsonEscape(os, name);
+            os << "\"";
+            break;
+          case sim::SpanPhase::Counter:
+            os << ", \"ph\": \"C\", \"name\": \"";
+            jsonEscape(os, name);
+            os << "\"";
+            break;
+        }
+        const bool hasDetail = e.detail != sim::Tracer::kNoDetail;
+        const bool hasValue =
+            e.phase == sim::SpanPhase::Counter ||
+            (e.phase == sim::SpanPhase::Instant && e.value != 0.0);
+        if (hasDetail || hasValue) {
+            os << ", \"args\": {";
+            if (hasValue) {
+                os << "\"value\": ";
+                emitValue(os, e.value);
+            }
+            if (hasDetail) {
+                if (hasValue)
+                    os << ", ";
+                os << "\"detail\": \"";
+                jsonEscape(os, tracer.spanDetail(e.detail).c_str());
+                os << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+chromeTraceJson(const sim::Tracer &tracer)
+{
+    std::ostringstream os;
+    writeChromeTrace(tracer, os);
+    return os.str();
+}
+
+} // namespace obs
+} // namespace k2

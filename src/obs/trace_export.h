@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chrome trace_event (catapult) exporter for the structured span
+ * stream recorded by sim::Tracer.
+ *
+ * The output is a standard JSON object with a "traceEvents" array,
+ * loadable in chrome://tracing or https://ui.perfetto.dev. Every
+ * registered track becomes a named thread of one "k2-sim" process:
+ * core power states, scheduler slices, mailbox traffic, DSM fault
+ * phases, and per-rail power counters each get their own row on the
+ * timeline.
+ *
+ * Serialisation happens entirely off the simulation hot path: the
+ * tracer records POD events into a pre-reserved buffer during the run,
+ * and this writer walks that buffer afterwards. Timestamps are emitted
+ * in microseconds (catapult's unit) with picosecond precision, and the
+ * output is byte-deterministic for identical runs.
+ */
+
+#ifndef K2_OBS_TRACE_EXPORT_H
+#define K2_OBS_TRACE_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace k2 {
+namespace obs {
+
+/** Write @p tracer's span stream as catapult JSON to @p os. */
+void writeChromeTrace(const sim::Tracer &tracer, std::ostream &os);
+
+/** As writeChromeTrace, into a string. */
+std::string chromeTraceJson(const sim::Tracer &tracer);
+
+} // namespace obs
+} // namespace k2
+
+#endif // K2_OBS_TRACE_EXPORT_H

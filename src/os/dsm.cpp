@@ -1,5 +1,6 @@
 #include "os/dsm.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -38,6 +39,8 @@ Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
         K2_ASSERT(kernels_[k] != nullptr);
         mmus_[k] = std::make_unique<soc::Mmu>(
             kernels_[k]->domain().spec().core);
+        tracks_[k] =
+            soc_.engine().addTrack("os.dsm." + kernels_[k]->name());
     }
 }
 
@@ -196,6 +199,19 @@ Dsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
         pi.upgrade[k] = false;
         pi.settled->pulse();
 
+        // Emit the fault and its phases as nested spans on the
+        // faulting kernel's track: a parent "fault" X event spanning
+        // t0..t4 with four child phases inside it (the same breakdown
+        // as Table 5).
+        if (soc_.engine().tracer().spansOn()) {
+            sim::Tracer &tr = soc_.engine().tracer();
+            tr.spanComplete(t0, t4 - t0, tracks_[k], "fault");
+            tr.spanComplete(t0, t1 - t0, tracks_[k], "fault_entry");
+            tr.spanComplete(t1, t2 - t1, tracks_[k], "protocol");
+            tr.spanComplete(t2, t3 - t2, tracks_[k], "comm+service");
+            tr.spanComplete(t3, t4 - t3, tracks_[k], "exit_refill");
+        }
+
         st.localFaultUs.sample(sim::toUsec(t1 - t0));
         st.protocolUs.sample(sim::toUsec(t2 - t1));
         st.serviceUs.sample(sim::toUsec(pi.lastServiceTime));
@@ -264,6 +280,7 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
         pi.state[owner] = PState::Invalid;
     }
     pi.lastServiceTime = soc_.engine().now() - t_start;
+    soc_.engine().spanComplete(t_start, tracks_[owner], "service");
     K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
              "%s services page %llu (%s)",
              kernels_[owner]->name().c_str(),
@@ -275,6 +292,32 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
         kernels_[1 - owner]->domainId(),
         encodeMessage(MsgType::PutExclusive, page & kPayloadMask,
                       packSeq(seq_++, rw)));
+}
+
+void
+Dsm::registerMetrics(obs::MetricsRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".messages", messages_);
+    reg.addCounter(prefix + ".demotions", demotions_);
+    for (KernelIdx k = 0; k < 2; ++k) {
+        const std::string kp = prefix + "." + kernels_[k]->name();
+        const FaultStats &st = stats_[k];
+        reg.addCounter(kp + ".faults", st.faults);
+        reg.addAccumulator(kp + ".fault_entry_us", st.localFaultUs);
+        reg.addAccumulator(kp + ".protocol_us", st.protocolUs);
+        reg.addAccumulator(kp + ".comm_us", st.commUs);
+        reg.addAccumulator(kp + ".service_us", st.serviceUs);
+        reg.addAccumulator(kp + ".exit_us", st.exitUs);
+        reg.addAccumulator(kp + ".total_us", st.totalUs);
+        const soc::Mmu &mmu = *mmus_[k];
+        reg.addGauge(kp + ".tlb.hits", [&mmu]() {
+            return static_cast<double>(mmu.tlb().hits());
+        });
+        reg.addGauge(kp + ".tlb.misses", [&mmu]() {
+            return static_cast<double>(mmu.tlb().misses());
+        });
+    }
 }
 
 sim::Task<void>

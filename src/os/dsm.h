@@ -40,6 +40,11 @@
 #include "os/system.h"
 
 namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace os {
 
 class Dsm
@@ -145,6 +150,13 @@ class Dsm
 
     /** @} */
 
+    /**
+     * Register fault counters, the per-phase Table 5 accumulators and
+     * MMU statistics under "<prefix>.<kernel-name>.*".
+     */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     /** Per-kernel page state. */
     enum class PState : std::uint8_t { Invalid, Shared, Exclusive };
@@ -183,6 +195,7 @@ class Dsm
     std::array<std::unique_ptr<soc::Mmu>, 2> mmus_;
     std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
     std::array<FaultStats, 2> stats_;
+    std::array<sim::TrackId, 2> tracks_{}; //!< Per-kernel span tracks.
     sim::Counter messages_;
     sim::Counter demotions_;
     std::uint32_t seq_ = 0;

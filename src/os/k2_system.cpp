@@ -1,5 +1,6 @@
 #include "os/k2_system.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -207,6 +208,42 @@ K2System::chargeCrossIsa(kern::Kernel &kern, soc::Core &core,
                          std::uint64_t n)
 {
     co_await crossIsa_->charge(kern, core, n);
+}
+
+void
+K2System::registerMetrics(obs::MetricsRegistry &reg)
+{
+    SystemImage::registerMetrics(reg);
+
+    dsm_->registerMetrics(reg, "os.dsm");
+
+    reg.addCounter("os.nightwatch.suspends", nightWatch_->suspendsSent);
+    reg.addCounter("os.nightwatch.resumes", nightWatch_->resumesSent);
+    reg.addCounter("os.nightwatch.acks", nightWatch_->acksReceived);
+    reg.addAccumulator("os.nightwatch.ack_wait_us",
+                       nightWatch_->ackWaitUs);
+
+    reg.addCounter("os.meta.pressure_events", meta_->pressureEvents);
+    reg.addCounter("os.meta.peer_requests", meta_->peerRequests);
+    static const char *const kKernelNames[2] = {"main", "shadow"};
+    for (KernelIdx k = 0; k < 2; ++k) {
+        const std::string bp =
+            std::string("os.balloon.") + kKernelNames[k];
+        BalloonDriver &b = meta_->balloon(k);
+        reg.addCounter(bp + ".deflates", b.deflates);
+        reg.addCounter(bp + ".inflates", b.inflates);
+        reg.addCounter(bp + ".failed_inflates", b.failedInflates);
+    }
+
+    const IrqRouter &router = *irqRouter_;
+    reg.addGauge("os.irq_router.reroutes", [&router]() {
+        return static_cast<double>(router.reroutes());
+    });
+    const CrossIsaDispatcher &xisa = *crossIsa_;
+    reg.addGauge("os.cross_isa.dispatches", [&xisa]() {
+        return static_cast<double>(xisa.dispatches());
+    });
+    reg.addCounter("os.remote_frees", remoteFrees_);
 }
 
 sim::Task<void>

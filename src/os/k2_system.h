@@ -79,6 +79,7 @@ class K2System : public SystemImage
                               kern::PageRange range) override;
     sim::Task<void> chargeCrossIsa(kern::Kernel &kern, soc::Core &core,
                                    std::uint64_t n) override;
+    void registerMetrics(obs::MetricsRegistry &reg) override;
     /** @} */
 
     /** @name K2 components. @{ */

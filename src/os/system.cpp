@@ -1,5 +1,9 @@
 #include "os/system.h"
 
+#include "obs/metrics.h"
+#include "kern/buddy.h"
+#include "kern/sched.h"
+
 namespace k2 {
 namespace os {
 
@@ -9,6 +13,41 @@ SystemImage::createProcess(std::string name)
     processes_.push_back(
         std::make_unique<kern::Process>(nextPid_++, std::move(name)));
     return *processes_.back();
+}
+
+void
+SystemImage::registerMetrics(obs::MetricsRegistry &reg)
+{
+    sim::Engine &eng = engine();
+    reg.addGauge("sim.events_dispatched", [&eng]() {
+        return static_cast<double>(eng.eventsDispatched());
+    });
+    reg.addGauge("sim.pending_events", [&eng]() {
+        return static_cast<double>(eng.pendingEvents());
+    });
+    reg.addGauge("sim.pool_capacity", [&eng]() {
+        return static_cast<double>(eng.poolCapacity());
+    });
+    reg.addGauge("sim.spans.recorded", [&eng]() {
+        return static_cast<double>(eng.tracer().spanEvents().size());
+    });
+    reg.addGauge("sim.spans.dropped", [&eng]() {
+        return static_cast<double>(eng.tracer().spansDropped());
+    });
+
+    soc().registerMetrics(reg);
+
+    for (kern::Kernel *k : kernels()) {
+        const std::string kp = "kern." + k->name();
+        kern::Scheduler &sched = k->scheduler();
+        reg.addGauge(kp + ".sched.context_switches", [&sched]() {
+            return static_cast<double>(sched.contextSwitches());
+        });
+        kern::BuddyAllocator &buddy = k->pageAllocator();
+        reg.addCounter(kp + ".buddy.alloc_calls", buddy.allocCalls);
+        reg.addCounter(kp + ".buddy.free_calls", buddy.freeCalls);
+        reg.addCounter(kp + ".buddy.failed_allocs", buddy.failedAllocs);
+    }
 }
 
 } // namespace os

@@ -30,6 +30,11 @@
 #include "kern/types.h"
 
 namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace os {
 
 /** Kind of access to shared state. */
@@ -145,6 +150,14 @@ class SystemImage
     {
         return processes_;
     }
+
+    /**
+     * Register this system's metrics: the sim engine ("sim.*"), the
+     * hardware ("soc.*") and every kernel's scheduler and page
+     * allocator ("kern.<name>.*"). Implementations extend this with
+     * their OS-level components (K2 adds "os.*").
+     */
+    virtual void registerMetrics(obs::MetricsRegistry &reg);
 
   protected:
     std::vector<std::unique_ptr<kern::Process>> processes_;

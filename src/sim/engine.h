@@ -219,6 +219,55 @@ class Engine
         tracer_.record(now_, cat, std::move(text));
     }
 
+    /**
+     * @name Structured-span helpers.
+     *
+     * Thin wrappers over the tracer's span API stamped with now().
+     * All are a single flag test when spans are disabled, keeping the
+     * dispatch path allocation- and work-free. @{
+     */
+    TrackId addTrack(const std::string &name)
+    {
+        return tracer_.addTrack(name);
+    }
+
+    void
+    spanBegin(TrackId track, const char *name)
+    {
+        if (tracer_.spansOn())
+            tracer_.spanBegin(now_, track, name);
+    }
+
+    void
+    spanEnd(TrackId track)
+    {
+        if (tracer_.spansOn())
+            tracer_.spanEnd(now_, track);
+    }
+
+    /** Complete span from @p start to now(). */
+    void
+    spanComplete(Time start, TrackId track, const char *name)
+    {
+        if (tracer_.spansOn())
+            tracer_.spanComplete(start, now_ - start, track, name);
+    }
+
+    void
+    spanInstant(TrackId track, const char *name, double value = 0.0)
+    {
+        if (tracer_.spansOn())
+            tracer_.spanInstant(now_, track, name, value);
+    }
+
+    void
+    spanCounter(TrackId track, const char *name, double value)
+    {
+        if (tracer_.spansOn())
+            tracer_.spanCounter(now_, track, name, value);
+    }
+    /** @} */
+
   private:
     /** Operations a payload manager implements for its callable. */
     enum class CbOp

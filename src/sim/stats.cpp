@@ -14,8 +14,12 @@ Histogram::percentile(double p) const
     for (std::size_t i = 0; i < kBuckets; ++i) {
         seen += buckets_[i];
         if (seen > target) {
-            // Upper edge of the bucket as the estimate.
-            return static_cast<double>(1ull << i);
+            // Upper boundary of bucket i is 2^(i+1); the last bucket
+            // is unbounded. Clamp to the observed maximum either way.
+            if (i + 1 >= kBuckets)
+                return acc_.max();
+            const double upper = static_cast<double>(1ull << (i + 1));
+            return std::min(upper, acc_.max());
         }
     }
     return acc_.max();

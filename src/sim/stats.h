@@ -3,8 +3,10 @@
  * Lightweight statistics: counters and sample accumulators.
  *
  * Components expose Counter and Accumulator members; benches and tests
- * read them directly. Accumulator tracks count/sum/min/max and mean;
- * Histogram additionally keeps log2 buckets for latency distributions.
+ * read them directly, and the observability layer (obs::MetricsRegistry)
+ * registers them under hierarchical names. Accumulator tracks
+ * count/sum/min/max and mean; Histogram additionally keeps log2 buckets
+ * for latency distributions.
  */
 
 #ifndef K2_SIM_STATS_H
@@ -12,6 +14,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -31,7 +34,13 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
-/** Accumulates scalar samples (latencies, sizes, ...). */
+/**
+ * Accumulates scalar samples (latencies, sizes, ...).
+ *
+ * min()/max() of an empty accumulator are NaN (there is no sample to
+ * report); renderers show them as "-". mean() of an empty accumulator
+ * stays 0.0 so rate-style readers need no special case.
+ */
 class Accumulator
 {
   public:
@@ -46,8 +55,21 @@ class Accumulator
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    min() const
+    {
+        return count_ ? min_
+                      : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    double
+    max() const
+    {
+        return count_ ? max_
+                      : std::numeric_limits<double>::quiet_NaN();
+    }
+
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
     void
@@ -66,27 +88,59 @@ class Accumulator
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/** An accumulator with log2-bucketed distribution. */
+/**
+ * An accumulator with log2-bucketed distribution.
+ *
+ * Bucket boundaries: bucket i holds samples in [2^i, 2^(i+1)), except
+ * that bucket 0 additionally absorbs everything below 2 (zero,
+ * sub-unit samples, negatives, NaN) and the last bucket absorbs
+ * everything at or above 2^63 -- including values too large to
+ * represent in a uint64_t, which must never reach the double->integer
+ * cast (that conversion is undefined behaviour out of range).
+ */
 class Histogram
 {
   public:
     static constexpr std::size_t kBuckets = 64;
 
+    /** The bucket a sample value falls into (see class comment). */
+    static std::size_t
+    bucketIndex(double v)
+    {
+        // Catches v < 2 as well as NaN (every comparison with NaN is
+        // false), so the cast below is always in range.
+        if (!(v >= 2.0))
+            return 0;
+        constexpr double kTop = 9223372036854775808.0; // 2^63
+        if (v >= kTop)
+            return kBuckets - 1;
+        const auto u = static_cast<std::uint64_t>(v); // in [2, 2^63)
+        return static_cast<std::size_t>(std::bit_width(u) - 1);
+    }
+
+    /** Inclusive lower boundary of bucket @p i. */
+    static constexpr double
+    bucketLow(std::size_t i)
+    {
+        return i == 0 ? 0.0 : static_cast<double>(1ull << i);
+    }
+
     void
     sample(double v)
     {
         acc_.sample(v);
-        const auto u = static_cast<std::uint64_t>(std::max(v, 0.0));
-        std::size_t bucket = 0;
-        while ((1ull << bucket) <= u && bucket + 1 < kBuckets)
-            ++bucket;
-        ++buckets_[bucket];
+        ++buckets_[bucketIndex(v)];
     }
 
     const Accumulator &acc() const { return acc_; }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
 
-    /** Approximate p-th percentile from the bucket boundaries. */
+    /**
+     * Approximate p-th percentile: the upper boundary 2^(i+1) of the
+     * bucket holding the target sample, clamped to the true observed
+     * maximum (so it never exceeds max(), and an all-zero histogram
+     * reports 0).
+     */
     double percentile(double p) const;
 
     void

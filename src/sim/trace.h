@@ -3,19 +3,36 @@
  * Structured event tracing.
  *
  * The K2 prototype "includes extensive debugging support" (Table 2);
- * this is our equivalent: a per-engine ring buffer of categorised,
- * timestamped records that OS components emit on their interesting
- * transitions (dispatches, DSM faults, interrupt reroutes, NightWatch
- * suspends, balloon moves). Tracing is off by default and costs one
- * branch when disabled; enabled categories format into the ring
- * buffer, which tests and debugging sessions can dump or query.
+ * this is our equivalent, in two layers:
+ *
+ *  - A per-engine ring buffer of categorised, timestamped *text*
+ *    records that OS components emit on their interesting transitions
+ *    (dispatches, DSM faults, interrupt reroutes, NightWatch suspends,
+ *    balloon moves). Off by default; costs one branch when disabled.
+ *    Emitted through the K2_TRACE macro.
+ *
+ *  - A *structured span* stream: POD events (begin/end, complete
+ *    spans, instants, counter samples) on named tracks, recorded into
+ *    a buffer whose capacity is reserved when spans are enabled, so
+ *    the hot path never allocates -- when the buffer fills, further
+ *    events are counted as dropped rather than grown. The obs layer
+ *    serialises this stream into a Chrome trace_event (catapult) JSON
+ *    file off the hot path. Components register their tracks at
+ *    construction time (cheap, deduplicated by name); recording is a
+ *    single flag test when spans are disabled.
+ *
+ * When both layers are on, every K2_TRACE record is mirrored as an
+ * instant event on a per-category track, so the textual trace shows up
+ * on the timeline too.
  */
 
 #ifndef K2_SIM_TRACE_H
 #define K2_SIM_TRACE_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -45,10 +62,26 @@ traceMask(TraceCat c)
 /** Every category. */
 inline constexpr std::uint32_t kTraceAll = 0x3F;
 
+/** Number of distinct trace categories. */
+inline constexpr std::size_t kNumTraceCats = 6;
+
+/** Phase of a structured span event (maps onto catapult's "ph"). */
+enum class SpanPhase : std::uint8_t
+{
+    Begin,    //!< Open a span on a track ("B").
+    End,      //!< Close the innermost open span ("E").
+    Complete, //!< A finished span with a known duration ("X").
+    Instant,  //!< A point event ("i").
+    Counter,  //!< A sampled numeric series ("C").
+};
+
+/** Identifies a registered span track. */
+using TrackId = std::uint32_t;
+
 class Tracer
 {
   public:
-    /** One trace record. */
+    /** One text trace record. */
     struct Record
     {
         Time when;
@@ -56,10 +89,27 @@ class Tracer
         std::string text;
     };
 
-    /** @param capacity Ring-buffer size in records. */
+    /** One structured span event (POD; see SpanPhase). */
+    struct SpanEvent
+    {
+        Time ts;
+        Duration dur;       //!< Complete events only.
+        double value;       //!< Counter value / instant argument.
+        TrackId track;
+        std::uint32_t detail; //!< Index into spanDetails(), or kNoDetail.
+        SpanPhase phase;
+        const char *name;   //!< Must point at storage outliving the
+                            //!< tracer (string literals in practice).
+    };
+
+    static constexpr std::uint32_t kNoDetail = 0xffffffffu;
+
+    /** @param capacity Text ring-buffer size in records. */
     explicit Tracer(std::size_t capacity = 4096)
         : capacity_(capacity)
     {}
+
+    /** @name Text records (K2_TRACE). @{ */
 
     /** Enable the categories in @p mask (in addition to current). */
     void enable(std::uint32_t mask) { enabled_ |= mask; }
@@ -97,12 +147,112 @@ class Tracer
     /** Printable category name. */
     static const char *catName(TraceCat cat);
 
+    /** @} */
+
+    /** @name Structured spans. @{ */
+
+    /**
+     * Register (or look up) a track by name; returns its id. Tracks
+     * are deduplicated by name, so components may re-register at every
+     * construction. Cold path.
+     */
+    TrackId addTrack(const std::string &name);
+
+    /**
+     * Turn structured-span recording on, reserving buffer space for
+     * @p capacity events up front so recording itself never allocates.
+     */
+    void enableSpans(std::size_t capacity = 1 << 16);
+
+    /** Turn recording back off (the buffered events remain). */
+    void disableSpans() { spansOn_ = false; }
+
+    /** True if span recording is enabled (test before composing). */
+    bool spansOn() const { return spansOn_; }
+
+    void
+    spanBegin(Time ts, TrackId track, const char *name)
+    {
+        push(SpanEvent{ts, 0, 0.0, track, kNoDetail, SpanPhase::Begin,
+                       name});
+    }
+
+    void
+    spanEnd(Time ts, TrackId track)
+    {
+        push(SpanEvent{ts, 0, 0.0, track, kNoDetail, SpanPhase::End,
+                       nullptr});
+    }
+
+    void
+    spanComplete(Time start, Duration dur, TrackId track,
+                 const char *name)
+    {
+        push(SpanEvent{start, dur, 0.0, track, kNoDetail,
+                       SpanPhase::Complete, name});
+    }
+
+    /** Complete span carrying a dynamic detail string (copied). */
+    void spanCompleteStr(Time start, Duration dur, TrackId track,
+                         const char *name, const std::string &detail);
+
+    void
+    spanInstant(Time ts, TrackId track, const char *name,
+                double value = 0.0)
+    {
+        push(SpanEvent{ts, 0, value, track, kNoDetail,
+                       SpanPhase::Instant, name});
+    }
+
+    void
+    spanCounter(Time ts, TrackId track, const char *name, double value)
+    {
+        push(SpanEvent{ts, 0, value, track, kNoDetail,
+                       SpanPhase::Counter, name});
+    }
+
+    /** Recorded span events, in recording order (not sorted by ts). */
+    const std::vector<SpanEvent> &spanEvents() const { return spans_; }
+
+    /** Registered track names, indexed by TrackId. */
+    const std::vector<std::string> &trackNames() const { return tracks_; }
+
+    /** Detail string referenced by SpanEvent::detail. */
+    const std::string &spanDetail(std::uint32_t idx) const
+    {
+        return spanDetails_.at(idx);
+    }
+
+    /** Span events lost because the reserved buffer was full. */
+    std::uint64_t spansDropped() const { return spansDropped_; }
+
+    /** @} */
+
   private:
+    void
+    push(const SpanEvent &e)
+    {
+        if (spans_.size() >= spanCapacity_) {
+            ++spansDropped_;
+            return;
+        }
+        spans_.push_back(e);
+    }
+
     std::size_t capacity_;
     std::uint32_t enabled_ = 0;
     std::deque<Record> buffer_;
     std::uint64_t emitted_ = 0;
     std::uint64_t dropped_ = 0;
+
+    bool spansOn_ = false;
+    std::size_t spanCapacity_ = 0;
+    std::uint64_t spansDropped_ = 0;
+    std::vector<SpanEvent> spans_;
+    std::vector<std::string> spanDetails_;
+    std::vector<std::string> tracks_;
+    std::map<std::string, TrackId> trackByName_;
+    std::array<TrackId, kNumTraceCats> catTracks_{};
 };
 
 } // namespace sim

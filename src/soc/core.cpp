@@ -25,7 +25,10 @@ Core::Core(sim::Engine &eng, EnergyMeter &meter, RailId rail,
            const CoreSpec &spec, const PlatformCosts &costs, CoreId id,
            DomainId domain)
     : engine_(eng), meter_(meter), rail_(rail), spec_(spec), costs_(costs),
-      id_(id), domain_(domain), point_(spec.defaultPoint), wakeDone_(eng)
+      id_(id), domain_(domain), point_(spec.defaultPoint),
+      track_(eng.addTrack(
+          sim::strPrintf("soc.domain%u.core%u.power", domain, id))),
+      wakeDone_(eng)
 {
     client_ = meter_.addClient(rail_, powerFor(state_));
     lastStateChange_ = engine_.now();
@@ -72,6 +75,13 @@ Core::setState(PowerState s)
     if (s == state_)
         return;
     const sim::Time now = engine_.now();
+    // Emit the residency interval that just ended as a complete span,
+    // so the exported timeline shows one row of active/idle/inactive
+    // segments per core.
+    if (now > lastStateChange_ && engine_.tracer().spansOn())
+        engine_.tracer().spanComplete(lastStateChange_,
+                                      now - lastStateChange_, track_,
+                                      powerStateName(state_));
     residency_[static_cast<int>(state_)] += now - lastStateChange_;
     lastStateChange_ = now;
     state_ = s;

@@ -136,6 +136,7 @@ class Core
     DomainId domain_;
 
     std::size_t point_;
+    sim::TrackId track_; //!< Structured-span track for power states.
     PowerState state_ = PowerState::Idle;
     std::uint32_t busyCount_ = 0;
     bool waking_ = false;

@@ -1,5 +1,6 @@
 #include "soc/mailbox.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 #include "soc/irq.h"
 
@@ -9,8 +10,14 @@ namespace soc {
 MailboxNet::MailboxNet(sim::Engine &eng, std::size_t num_domains,
                        sim::Duration one_way)
     : engine_(eng), oneWay_(one_way), fifos_(num_domains),
-      ctrls_(num_domains, nullptr)
-{}
+      inflight_(num_domains * num_domains), ctrls_(num_domains, nullptr)
+{
+    tracks_.reserve(num_domains);
+    for (std::size_t d = 0; d < num_domains; ++d) {
+        tracks_.push_back(engine_.addTrack(
+            sim::strPrintf("soc.mailbox.d%zu", d)));
+    }
+}
 
 void
 MailboxNet::attachController(DomainId domain, InterruptController *ctrl)
@@ -27,12 +34,30 @@ MailboxNet::send(DomainId from, DomainId to, std::uint32_t word)
     K2_ASSERT(from != to);
     K2_TRACE(engine_, sim::TraceCat::Mail, "mail %u -> %u word 0x%08x",
              from, to, word);
-    engine_.after(oneWay_, [this, from, to, word]() {
-        fifos_[to].push_back(Mail{from, word});
-        delivered_.inc();
-        if (ctrls_[to])
-            ctrls_[to]->raise(kIrqMailbox);
-    });
+    engine_.spanInstant(tracks_[from], "send",
+                        static_cast<double>(word));
+    sent_.inc();
+    // The payload rides in the per-pair channel queue, not the event
+    // capture: arrival events only drain the head of their channel, so
+    // per-pair FIFO order holds no matter how transit events are
+    // ordered.
+    inflight_[chanIdx(from, to)].push_back(word);
+    engine_.after(oneWay_, [this, from, to]() { deliver(from, to); });
+}
+
+void
+MailboxNet::deliver(DomainId from, DomainId to)
+{
+    auto &chan = inflight_[chanIdx(from, to)];
+    K2_ASSERT(!chan.empty());
+    const std::uint32_t word = chan.front();
+    chan.pop_front();
+    fifos_[to].push_back(Mail{from, word});
+    delivered_.inc();
+    engine_.spanInstant(tracks_[to], "deliver",
+                        static_cast<double>(word));
+    if (ctrls_[to])
+        ctrls_[to]->raise(kIrqMailbox);
 }
 
 std::optional<Mail>
@@ -52,6 +77,14 @@ MailboxNet::pending(DomainId domain) const
 {
     K2_ASSERT(domain < fifos_.size());
     return fifos_[domain].size();
+}
+
+void
+MailboxNet::registerMetrics(obs::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".sent", sent_);
+    reg.addCounter(prefix + ".delivered", delivered_);
 }
 
 } // namespace soc

@@ -4,8 +4,18 @@
  *
  * Modelled on the OMAP4 mailbox block: a core in one domain posts a
  * 32-bit mail addressed to another domain; after the wire latency the
- * mail is appended to the receiving domain's FIFO (in order) and the
- * receiving domain's private mailbox interrupt (kIrqMailbox) fires.
+ * mail is appended to the receiving domain's FIFO and the receiving
+ * domain's private mailbox interrupt (kIrqMailbox) fires.
+ *
+ * Ordering contract: delivery is in-order **per sender-receiver
+ * pair** -- mails posted from domain A to domain B are read by B in
+ * the order A posted them, which is the guarantee the OMAP4 block's
+ * per-direction hardware FIFOs give. Mails from *different* senders to
+ * the same receiver interleave by arrival time with no cross-sender
+ * guarantee. Each (sender, receiver) pair owns an in-flight channel
+ * queue, so the guarantee holds structurally even if transit events
+ * were reordered.
+ *
  * The paper measures the message round trip at ~5 us; the default
  * one-way latency is half that.
  */
@@ -23,6 +33,10 @@
 #include "soc/config.h"
 
 namespace k2 {
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace soc {
 
 class InterruptController;
@@ -57,7 +71,7 @@ class MailboxNet
      * Post a 32-bit mail from @p from to @p to.
      *
      * Delivery is asynchronous (after the one-way latency) and
-     * in-order per sender-receiver pair.
+     * in-order per sender-receiver pair (see the file comment).
      */
     void send(DomainId from, DomainId to, std::uint32_t word);
 
@@ -72,12 +86,29 @@ class MailboxNet
 
     sim::Duration oneWayLatency() const { return oneWay_; }
 
+    /** Register this net's stats under @p prefix (e.g. "soc.mailbox"). */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
+    /** Deliver the oldest in-flight mail of the (from, to) channel. */
+    void deliver(DomainId from, DomainId to);
+
+    std::size_t
+    chanIdx(DomainId from, DomainId to) const
+    {
+        return static_cast<std::size_t>(from) * fifos_.size() + to;
+    }
+
     sim::Engine &engine_;
     sim::Duration oneWay_;
     std::vector<std::deque<Mail>> fifos_;
+    /** Per (sender, receiver) pair: mails posted but not yet arrived. */
+    std::vector<std::deque<std::uint32_t>> inflight_;
     std::vector<InterruptController *> ctrls_;
+    std::vector<sim::TrackId> tracks_; //!< Per-receiver span track.
     sim::Counter delivered_;
+    sim::Counter sent_;
 };
 
 } // namespace soc

@@ -11,6 +11,7 @@ EnergyMeter::addRail(std::string name)
     Rail rail;
     rail.name = std::move(name);
     rail.lastChange = engine_.now();
+    rail.track = engine_.addTrack("soc.power." + rail.name);
     rails_.push_back(std::move(rail));
     return static_cast<RailId>(rails_.size() - 1);
 }
@@ -35,6 +36,7 @@ EnergyMeter::setClientPower(RailId rail, std::uint32_t client, double mw)
     settle(r);
     r.totalMw += mw - r.clientMw[client];
     r.clientMw[client] = mw;
+    engine_.spanCounter(r.track, "mW", r.totalMw);
 }
 
 void

@@ -91,6 +91,7 @@ class EnergyMeter
         double totalMw = 0.0;
         double accumulatedUj = 0.0;
         sim::Time lastChange = 0;
+        sim::TrackId track = 0; //!< Span track for the power counter.
     };
 
     /** Fold elapsed time at the current power into the accumulator. */

@@ -1,5 +1,6 @@
 #include "soc/soc.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -40,6 +41,61 @@ Soc::raiseSharedIrq(IrqLine line)
     // ours do) check their device's status register.
     for (auto &d : domains_)
         d->irqCtrl().raise(line);
+}
+
+void
+Soc::registerMetrics(obs::MetricsRegistry &reg) const
+{
+    mailbox_->registerMetrics(reg, "soc.mailbox");
+    reg.addGauge("soc.dma.transfers", [this]() {
+        return static_cast<double>(dma_->transfersCompleted());
+    });
+    reg.addGauge("soc.dma.bytes", [this]() {
+        return static_cast<double>(dma_->bytesMoved());
+    });
+    reg.addGauge("soc.spinlock.acquisitions", [this]() {
+        return static_cast<double>(spinlocks_->acquisitions());
+    });
+    reg.addGauge("soc.spinlock.contended_polls", [this]() {
+        return static_cast<double>(spinlocks_->contendedPolls());
+    });
+    for (DomainId d = 0; d < domains_.size(); ++d) {
+        const CoherenceDomain &dom = *domains_[d];
+        const std::string dp = sim::strPrintf("soc.domain%u", d);
+        reg.addGauge(dp + ".irq.delivered", [&dom]() {
+            return static_cast<double>(dom.irqCtrl().delivered());
+        });
+        reg.addGauge(dp + ".irq.masked_drops", [&dom]() {
+            return static_cast<double>(dom.irqCtrl().maskedDrops());
+        });
+        for (std::size_t c = 0; c < dom.numCores(); ++c) {
+            const Core &core = dom.core(c);
+            const std::string cp = sim::strPrintf("%s.core%zu", dp.c_str(), c);
+            reg.addGauge(cp + ".wakeups", [&core]() {
+                return static_cast<double>(core.wakeups());
+            });
+            reg.addGauge(cp + ".instructions", [&core]() {
+                return static_cast<double>(core.instructionsRetired());
+            });
+            reg.addGauge(cp + ".active_us", [&core]() {
+                return sim::toUsec(core.activeTime());
+            });
+            reg.addGauge(cp + ".idle_us", [&core]() {
+                return sim::toUsec(core.idleTime());
+            });
+            reg.addGauge(cp + ".inactive_us", [&core]() {
+                return sim::toUsec(core.inactiveTime());
+            });
+        }
+    }
+    for (RailId r = 0; r < meter_.numRails(); ++r) {
+        const std::string rp = "soc.power." + meter_.railName(r);
+        const EnergyMeter &meter = meter_;
+        reg.addGauge(rp + ".energy_uj",
+                     [&meter, r]() { return meter.energyUj(r); });
+        reg.addGauge(rp + ".power_mw",
+                     [&meter, r]() { return meter.powerMw(r); });
+    }
 }
 
 } // namespace soc

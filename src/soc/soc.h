@@ -20,6 +20,11 @@
 #include "soc/spinlock.h"
 
 namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace soc {
 
 class Soc
@@ -62,6 +67,14 @@ class Soc
      * masks so exactly one domain accepts it.
      */
     void raiseSharedIrq(IrqLine line);
+
+    /**
+     * Register all hardware-level metrics under the "soc." prefix:
+     * mailbox traffic, DMA transfers, hardware spinlock contention,
+     * per-domain interrupt counts, per-core residency/wakeups and
+     * per-rail energy.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg) const;
 
   private:
     sim::Engine &engine_;

@@ -1,5 +1,6 @@
 #include "svc/dma_driver.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 #include "soc/irq.h"
 
@@ -123,6 +124,16 @@ DmaDriver::completionIsr(kern::Kernel &kern, soc::Core &core)
         channels_[i].busy = false;
         channels_[i].done->set();
     }
+}
+
+void
+DmaDriver::registerMetrics(obs::MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".transfers", transfers);
+    reg.addCounter(prefix + ".bytes", bytesMoved);
+    reg.addCounter(prefix + ".irqs_handled", irqsHandled);
+    reg.addAccumulator(prefix + ".transfer_us", transferUs);
 }
 
 } // namespace svc

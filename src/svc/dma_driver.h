@@ -30,6 +30,11 @@
 #include "os/system.h"
 
 namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace svc {
 
 class DmaDriver
@@ -61,6 +66,10 @@ class DmaDriver
     sim::Counter bytesMoved;
     sim::Counter irqsHandled;
     sim::Accumulator transferUs;
+
+    /** Register driver statistics under "<prefix>.*". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
     /** @} */
 
   private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -770,6 +771,22 @@ Ext2Fs::readdir(kern::Thread &t, const std::string &path)
     }
     t.kernel().soc().spinlocks().release(kSpinlockIdx);
     co_return names;
+}
+
+void
+Ext2Fs::registerMetrics(obs::MetricsRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".ops_create", opsCreate);
+    reg.addCounter(prefix + ".ops_write", opsWrite);
+    reg.addCounter(prefix + ".ops_read", opsRead);
+    reg.addCounter(prefix + ".ops_unlink", opsUnlink);
+    reg.addGauge(prefix + ".free_blocks", [this]() {
+        return static_cast<double>(freeBlocks());
+    });
+    reg.addGauge(prefix + ".free_inodes", [this]() {
+        return static_cast<double>(freeInodes());
+    });
 }
 
 } // namespace svc

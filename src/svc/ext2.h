@@ -140,6 +140,10 @@ class Ext2Fs
     sim::Counter opsWrite;
     sim::Counter opsRead;
     sim::Counter opsUnlink;
+
+    /** Register filesystem statistics under "<prefix>.*". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
     /** @} */
 
   private:

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -254,6 +255,16 @@ UdpStack::close(kern::Thread &t, int sock)
     s.readable->set(); // wake any blocked receiver to fail cleanly
     sys_.soc().spinlocks().release(kSpinlockIdx);
     co_return NetStatus::Ok;
+}
+
+void
+UdpStack::registerMetrics(obs::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".packets_sent", packetsSent);
+    reg.addCounter(prefix + ".packets_dropped", packetsDropped);
+    reg.addCounter(prefix + ".bytes_sent", bytesSent);
+    reg.addCounter(prefix + ".sockets_created", socketsCreated);
 }
 
 } // namespace svc

@@ -94,6 +94,10 @@ class UdpStack
     sim::Counter packetsDropped;
     sim::Counter bytesSent;
     sim::Counter socketsCreated;
+
+    /** Register stack statistics under "<prefix>.*". */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
     /** @} */
 
   private:

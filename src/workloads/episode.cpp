@@ -41,6 +41,11 @@ runEpisodeImpl(os::SystemImage &sys, kern::Process &proc,
     res.runTime = done_at - start;
     res.episodeTime = eng.now() - start;
     res.energyUj = snap.totalUj(sys.soc().meter());
+    if (eng.tracer().spansOn()) {
+        const sim::TrackId track = eng.tracer().addTrack("wl.episode");
+        eng.tracer().spanCompleteStr(start, res.episodeTime, track,
+                                     "episode", name);
+    }
     return res;
 }
 

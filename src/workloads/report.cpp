@@ -1,7 +1,9 @@
 #include "workloads/report.h"
 
+#include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -58,6 +60,8 @@ Table::print() const
 std::string
 fmt(double v, int decimals)
 {
+    if (std::isnan(v))
+        return "-";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
     return buf;
@@ -83,6 +87,104 @@ void
 banner(const std::string &title)
 {
     std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+namespace {
+
+/** Mean of an accumulator-kind metric, or NaN when it has no samples. */
+double
+metricMean(const obs::MetricsSnapshot &d, const std::string &name)
+{
+    const obs::MetricValue *v = d.find(name);
+    if (!v || v->count == 0)
+        return std::nan("");
+    return v->mean();
+}
+
+std::uint64_t
+metricCount(const obs::MetricsSnapshot &d, const std::string &name)
+{
+    const obs::MetricValue *v = d.find(name);
+    return v ? v->count : 0;
+}
+
+} // namespace
+
+std::string
+episodeReport(const obs::MetricsSnapshot &delta)
+{
+    std::string out;
+
+    // Table 5-style per-fault breakdown, one row per faulting kernel.
+    if (delta.hasPrefix("os.dsm.")) {
+        Table t({"kernel", "faults", "entry us", "protocol us", "comm us",
+                 "service us", "exit us", "total us"});
+        for (const char *k : {"main", "shadow"}) {
+            const std::string p = std::string("os.dsm.") + k;
+            t.addRow({k, std::to_string(metricCount(delta, p + ".faults")),
+                      fmt(metricMean(delta, p + ".fault_entry_us")),
+                      fmt(metricMean(delta, p + ".protocol_us")),
+                      fmt(metricMean(delta, p + ".comm_us")),
+                      fmt(metricMean(delta, p + ".service_us")),
+                      fmt(metricMean(delta, p + ".exit_us")),
+                      fmt(metricMean(delta, p + ".total_us"))});
+        }
+        out += "DSM fault breakdown (per-fault means):\n" + t.render();
+    }
+
+    // Per-rail energy split.
+    double total_uj = 0.0;
+    constexpr const char *kRailPrefix = "soc.power.";
+    constexpr const char *kEnergySuffix = ".energy_uj";
+    auto is_energy = [&](const std::string &name) {
+        return name.rfind(kRailPrefix, 0) == 0 &&
+               name.size() > std::string(kEnergySuffix).size() &&
+               name.compare(name.size() -
+                                std::string(kEnergySuffix).size(),
+                            std::string::npos, kEnergySuffix) == 0;
+    };
+    for (const auto &[name, v] : delta.values()) {
+        if (is_energy(name))
+            total_uj += v.value;
+    }
+    if (total_uj > 0.0) {
+        Table t({"rail", "energy uJ", "share %"});
+        for (const auto &[name, v] : delta.values()) {
+            if (!is_energy(name))
+                continue;
+            const std::string rail = name.substr(
+                std::string(kRailPrefix).size(),
+                name.size() - std::string(kRailPrefix).size() -
+                    std::string(kEnergySuffix).size());
+            t.addRow({rail, fmt(v.value),
+                      fmt(100.0 * v.value / total_uj)});
+        }
+        if (!out.empty())
+            out += "\n";
+        out += "Energy by rail:\n" + t.render();
+    }
+
+    // Service activity, one row per driver that did anything.
+    {
+        Table t({"service", "metric", "delta"});
+        std::size_t rows = 0;
+        for (const auto &[name, v] : delta.values()) {
+            if (name.rfind("svc.", 0) != 0)
+                continue;
+            if (v.kind == obs::MetricValue::Kind::Counter && v.count) {
+                t.addRow({name.substr(4, name.find('.', 4) - 4), name,
+                          std::to_string(v.count)});
+                ++rows;
+            }
+        }
+        if (rows) {
+            if (!out.empty())
+                out += "\n";
+            out += "Service activity:\n" + t.render();
+        }
+    }
+
+    return out;
 }
 
 } // namespace wl

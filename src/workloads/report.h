@@ -12,6 +12,11 @@
 #include <vector>
 
 namespace k2 {
+
+namespace obs {
+class MetricsSnapshot;
+}
+
 namespace wl {
 
 /** A fixed-column text table. */
@@ -34,13 +39,23 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Format helpers. @{ */
+/** Format helpers. NaN (an empty accumulator's min/max, or a diffed
+ *  interval's percentiles) renders as "-". @{ */
 std::string fmt(double v, int decimals = 1);
 std::string fmtBytes(std::uint64_t bytes);
 /** @} */
 
 /** Print a section banner for a bench. */
 void banner(const std::string &title);
+
+/**
+ * Render a per-episode report from a metrics delta (the diff of two
+ * registry snapshots bracketing the episode): the Table 5-style DSM
+ * fault breakdown, the per-rail energy split, and a service-activity
+ * summary. Sections whose metrics are absent (e.g. "os.dsm.*" on the
+ * baseline) are omitted.
+ */
+std::string episodeReport(const obs::MetricsSnapshot &delta);
 
 } // namespace wl
 } // namespace k2

@@ -1,5 +1,6 @@
 #include "workloads/testbed.h"
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -59,6 +60,17 @@ Testbed::makeLinux(baseline::LinuxConfig cfg)
     tb.sys_ = std::make_unique<baseline::LinuxSystem>(std::move(cfg));
     tb.attachServices();
     return tb;
+}
+
+void
+Testbed::registerMetrics(obs::MetricsRegistry &reg)
+{
+    sys_->registerMetrics(reg);
+    dma_->registerMetrics(reg, "svc.dma");
+    fs_->registerMetrics(reg, "svc.fs");
+    udp_->registerMetrics(reg, "svc.net");
+    reg.addCounter("svc.disk.reads", disk_->reads);
+    reg.addCounter("svc.disk.writes", disk_->writes);
 }
 
 } // namespace wl

@@ -43,6 +43,13 @@ class Testbed
     kern::Process &proc() { return *proc_; }
     sim::Engine &engine() { return sys_->engine(); }
 
+    /**
+     * Register the whole stack's metrics: the system image (sim, soc,
+     * kernels, and -- under K2 -- the os components) plus the attached
+     * service drivers under "svc.*".
+     */
+    void registerMetrics(obs::MetricsRegistry &reg);
+
   private:
     Testbed() = default;
     void attachServices();

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "sim/random.h"
 #include "workloads/benchmarks.h"
 #include "workloads/testbed.h"
@@ -69,6 +72,46 @@ TEST(Determinism, DifferentSeedsDiverge)
     const Fingerprint a = runScenario(1);
     const Fingerprint b = runScenario(2);
     EXPECT_NE(a.end, b.end);
+}
+
+TEST(Determinism, MetricsAndTraceArtifactsAreByteIdentical)
+{
+    auto run = [](std::uint64_t seed) {
+        auto tb = wl::Testbed::makeK2();
+        tb.engine().tracer().enableSpans();
+        tb.engine().tracer().enable(sim::kTraceAll);
+
+        obs::MetricsRegistry reg;
+        tb.registerMetrics(reg);
+
+        sim::Rng rng(seed);
+        for (int i = 0; i < 3; ++i) {
+            const std::uint64_t bytes = 1024 + rng.below(16384);
+            wl::runEpisode(tb.sys(), tb.proc(), "w",
+                           (i % 3 == 0)
+                               ? wl::dmaCopy(tb.dma(), 4096, bytes)
+                               : (i % 3 == 1)
+                                   ? wl::ext2Sync(tb.fs(), bytes, 2)
+                                   : wl::udpLoopback(tb.udp(), 8192,
+                                                     bytes));
+        }
+        return std::make_pair(
+            reg.snapshot().toJson(),
+            obs::chromeTraceJson(tb.engine().tracer()));
+    };
+
+    const auto [metrics_a, trace_a] = run(7);
+    const auto [metrics_b, trace_b] = run(7);
+    EXPECT_EQ(metrics_a, metrics_b);
+    EXPECT_EQ(trace_a, trace_b);
+    // And the artifacts are non-trivial: the registry covers the sim,
+    // the hardware, the OS, and the services; the trace has spans.
+    for (const char *key :
+         {"\"sim.events_dispatched\"", "\"soc.power.",
+          "\"os.dsm.shadow.faults\"", "\"svc.dma.transfers\""})
+        EXPECT_NE(metrics_a.find(key), std::string::npos) << key;
+    EXPECT_NE(trace_a.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(trace_a.find("os.dsm.shadow"), std::string::npos);
 }
 
 TEST(Determinism, DumpStateIsStable)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sim/log.h"
 #include "sim/random.h"
@@ -102,6 +103,83 @@ TEST(Histogram, PercentileMonotonic)
         h.sample(static_cast<double>(i));
     EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
     EXPECT_GE(h.percentile(0.99), 512.0);
+}
+
+TEST(Accumulator, EmptyMinMaxAreNaN)
+{
+    Accumulator acc;
+    EXPECT_TRUE(std::isnan(acc.min()));
+    EXPECT_TRUE(std::isnan(acc.max()));
+    EXPECT_EQ(acc.mean(), 0.0);
+    acc.sample(5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    acc.reset();
+    EXPECT_TRUE(std::isnan(acc.min()));
+    EXPECT_TRUE(std::isnan(acc.max()));
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Bucket 0 absorbs [0, 2) including zero and sub-unit samples;
+    // bucket i holds [2^i, 2^(i+1)).
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(0.5), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1.999), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(2.0), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(3.999), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(4.0), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(1024.0), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(2047.0), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(2048.0), 11u);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowTheCast)
+{
+    // Values at or above 2^63 would be UB to cast to uint64_t; they
+    // must land in the last bucket instead.
+    EXPECT_EQ(Histogram::bucketIndex(9.3e18), Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketIndex(1e300), Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketIndex(
+                  std::numeric_limits<double>::infinity()),
+              Histogram::kBuckets - 1);
+    Histogram h;
+    h.sample(1e300);
+    EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 1e300);
+}
+
+TEST(Histogram, ZeroAndSubUnitSamples)
+{
+    Histogram h;
+    h.sample(0.0);
+    h.sample(0.5);
+    EXPECT_EQ(h.bucket(0), 2u);
+    // All samples below 2: the percentile reports at most the observed
+    // maximum, never a fabricated bucket boundary above it.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.5);
+}
+
+TEST(Histogram, ExactPowersOfTwo)
+{
+    Histogram h;
+    for (int i = 1; i <= 16; ++i)
+        h.sample(static_cast<double>(1ull << i));
+    // 2^i sits at the inclusive lower edge of bucket i.
+    for (std::size_t i = 1; i <= 16; ++i)
+        EXPECT_EQ(h.bucket(i), 1u) << "bucket " << i;
+    // Percentiles never exceed the observed maximum.
+    EXPECT_LE(h.percentile(0.99), h.acc().max());
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
 }
 
 TEST(Log, FatalThrows)
