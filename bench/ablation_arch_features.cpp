@@ -22,6 +22,7 @@
 #include "os/k2_system.h"
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 namespace {
@@ -92,52 +93,63 @@ episodeMbPerJoule(os::K2Config cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Ablation (§11): the architectural features K2 wishes "
                "for");
 
-    wl::Table table({"Wish granted", "Metric", "Today", "With feature",
-                     "Gain"});
+    // Six independent measurements (3 wishes x {today, with feature}),
+    // each on its own K2System: one sweep cell apiece.
+    wl::SweepRunner runner(jobs);
+    double ch_today = 0, ch_with = 0;
+    double mmu_today = 0, mmu_with = 0;
+    double pw_today = 0, pw_with = 0;
 
-    {
-        os::K2Config base;
+    runner.submit([&ch_today]() { ch_today = faultUs(os::K2Config{}); });
+    runner.submit([&ch_with]() {
         os::K2Config direct;
         direct.soc.costs.mailboxOneWay = sim::nsec(250);
-        const double today = faultUs(base);
-        const double with = faultUs(direct);
-        table.addRow({"direct inter-domain channels",
-                      "weak-kernel DSM fault (us)", wl::fmt(today, 1),
-                      wl::fmt(with, 1),
-                      wl::fmt(today / with, 2) + "x"});
-    }
-    {
-        os::K2Config base;
+        ch_with = faultUs(direct);
+    });
+    runner.submit(
+        [&mmu_today]() { mmu_today = readShareUs(os::K2Config{}); });
+    runner.submit([&mmu_with]() {
         os::K2Config mmu;
         mmu.soc.domains[soc::kWeakDomain].core.mmu =
             soc::MmuKind::SingleLevel;
         mmu.soc.domains[soc::kWeakDomain].core.l1TlbEntries = 32;
-        const double today = readShareUs(base);
-        const double with = readShareUs(mmu);
-        table.addRow({"weak-domain MMU with permissions",
-                      "read-mostly MSI sharing (us/access)",
-                      wl::fmt(today, 1), wl::fmt(with, 1),
-                      wl::fmt(today / with, 2) + "x"});
-    }
-    {
-        os::K2Config base;
+        mmu_with = readShareUs(mmu);
+    });
+    runner.submit([&pw_today]() {
+        pw_today = episodeMbPerJoule(os::K2Config{});
+    });
+    runner.submit([&pw_with]() {
         os::K2Config fine;
         // Finer-grained power domains: the strong uncore gates with
         // its cores instead of burning whenever the SoC is up, and the
         // weak domain's rail can drop its share too.
         fine.soc.domains[soc::kStrongDomain].uncoreActiveMw = 4.0;
         fine.soc.domains[soc::kWeakDomain].uncoreActiveMw = 0.4;
-        const double today = episodeMbPerJoule(base);
-        const double with = episodeMbPerJoule(fine);
-        table.addRow({"finer-grained power domains",
-                      "light-task efficiency (MB/J)", wl::fmt(today, 2),
-                      wl::fmt(with, 2), wl::fmt(with / today, 2) + "x"});
-    }
+        pw_with = episodeMbPerJoule(fine);
+    });
+    runner.run();
+
+    wl::Table table({"Wish granted", "Metric", "Today", "With feature",
+                     "Gain"});
+    table.addRow({"direct inter-domain channels",
+                  "weak-kernel DSM fault (us)", wl::fmt(ch_today, 1),
+                  wl::fmt(ch_with, 1),
+                  wl::fmt(ch_today / ch_with, 2) + "x"});
+    table.addRow({"weak-domain MMU with permissions",
+                  "read-mostly MSI sharing (us/access)",
+                  wl::fmt(mmu_today, 1), wl::fmt(mmu_with, 1),
+                  wl::fmt(mmu_today / mmu_with, 2) + "x"});
+    table.addRow({"finer-grained power domains",
+                  "light-task efficiency (MB/J)", wl::fmt(pw_today, 2),
+                  wl::fmt(pw_with, 2),
+                  wl::fmt(pw_with / pw_today, 2) + "x"});
     table.print();
 
     std::printf("\nEach feature attacks a different term: channels cut "

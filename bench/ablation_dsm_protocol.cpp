@@ -13,9 +13,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "os/k2_system.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 
 namespace {
 
@@ -58,8 +60,10 @@ runMixUs(os::Dsm::Protocol proto, int write_every, int rounds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Ablation (§6.3): two-state vs three-state DSM protocol");
 
     struct Mix { const char *label; int write_every; };
@@ -70,15 +74,30 @@ main()
     };
 
     constexpr int kRounds = 64;
+
+    // One cell per (mix, protocol): each builds its own K2System.
+    wl::SweepRunner runner(jobs);
+    std::vector<double> two(std::size(mixes));
+    std::vector<double> three(std::size(mixes));
+    for (std::size_t i = 0; i < std::size(mixes); ++i) {
+        const int write_every = mixes[i].write_every;
+        runner.submit([&two, i, write_every]() {
+            two[i] = runMixUs(os::Dsm::Protocol::TwoState, write_every,
+                              kRounds);
+        });
+        runner.submit([&three, i, write_every]() {
+            three[i] = runMixUs(os::Dsm::Protocol::ThreeState,
+                                write_every, kRounds);
+        });
+    }
+    runner.run();
+
     wl::Table table({"Access mix", "two-state us/access",
                      "three-state us/access", "winner"});
-    for (const auto &m : mixes) {
-        const double two =
-            runMixUs(os::Dsm::Protocol::TwoState, m.write_every, kRounds);
-        const double three = runMixUs(os::Dsm::Protocol::ThreeState,
-                                      m.write_every, kRounds);
-        table.addRow({m.label, wl::fmt(two, 1), wl::fmt(three, 1),
-                      two <= three ? "two-state" : "three-state"});
+    for (std::size_t i = 0; i < std::size(mixes); ++i) {
+        table.addRow({mixes[i].label, wl::fmt(two[i], 1),
+                      wl::fmt(three[i], 1),
+                      two[i] <= three[i] ? "two-state" : "three-state"});
     }
     table.print();
 

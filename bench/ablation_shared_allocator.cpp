@@ -16,6 +16,7 @@
 
 #include "baseline/shared_alloc_system.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 
 namespace {
 
@@ -77,19 +78,29 @@ contendedAlloc(System &sys, int rounds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Ablation (§9.3): page allocator as a shadowed service");
 
-    os::K2Config cfg;
-    cfg.soc.costs.inactiveTimeout = 0;
-
-    baseline::SharedAllocSystem shared(cfg);
-    os::K2System independent(cfg);
-
     constexpr int kRounds = 50;
-    const Outcome sh = contendedAlloc(shared, kRounds);
-    const Outcome in = contendedAlloc(independent, kRounds);
+    Outcome sh{}, in{};
+
+    wl::SweepRunner runner(jobs);
+    runner.submit([&sh]() {
+        os::K2Config cfg;
+        cfg.soc.costs.inactiveTimeout = 0;
+        baseline::SharedAllocSystem shared(cfg);
+        sh = contendedAlloc(shared, kRounds);
+    });
+    runner.submit([&in]() {
+        os::K2Config cfg;
+        cfg.soc.costs.inactiveTimeout = 0;
+        os::K2System independent(cfg);
+        in = contendedAlloc(independent, kRounds);
+    });
+    runner.run();
 
     wl::Table table({"Design", "Main alloc (us)", "Shadow alloc (us)",
                      "DSM faults/op", "Main slowdown"});

@@ -14,6 +14,7 @@
 
 #include "os/ndsm.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 
 namespace {
 
@@ -69,28 +70,51 @@ struct Fixture
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Extension (§11): DSM across N coherence domains");
+
+    struct Row
+    {
+        double mean_fault_us;
+        double messages_per_fault;
+    };
+    const std::size_t domain_counts[] = {2, 3};
+
+    // One cell per domain count; each cell owns its engine + SoC +
+    // kernels + N-domain DSM.
+    wl::SweepRunner runner(jobs);
+    std::vector<Row> rows(std::size(domain_counts));
+    for (std::size_t i = 0; i < std::size(domain_counts); ++i) {
+        const std::size_t n = domain_counts[i];
+        runner.submit([&rows, i, n]() {
+            Fixture fx(n);
+            // Ring: each kernel in turn takes the page.
+            constexpr int kRounds = 30;
+            for (int r = 0; r < kRounds; ++r)
+                fx.touch(static_cast<std::size_t>(r) % n, 7);
+            std::uint64_t total_faults = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                total_faults += fx.ndsm->faults(k);
+            rows[i] = Row{
+                fx.ndsm->meanFaultUs(1),
+                static_cast<double>(fx.ndsm->messagesSent()) /
+                    static_cast<double>(total_faults)};
+        });
+    }
+    runner.run();
 
     wl::Table table({"Domains", "ring pattern",
                      "mean weak-kernel fault (us)", "messages/fault"});
-    for (const std::size_t n : {2u, 3u}) {
-        Fixture fx(n);
-        // Ring: each kernel in turn takes the page.
-        constexpr int kRounds = 30;
-        for (int r = 0; r < kRounds; ++r)
-            fx.touch(static_cast<std::size_t>(r) % n, 7);
-        std::uint64_t total_faults = 0;
-        for (std::size_t k = 0; k < n; ++k)
-            total_faults += fx.ndsm->faults(k);
+    for (std::size_t i = 0; i < std::size(domain_counts); ++i) {
+        const std::size_t n = domain_counts[i];
         table.addRow(
             {std::to_string(n),
              "k0 -> ... -> k" + std::to_string(n - 1) + " -> k0",
-             wl::fmt(fx.ndsm->meanFaultUs(1), 1),
-             wl::fmt(static_cast<double>(fx.ndsm->messagesSent()) /
-                         static_cast<double>(total_faults),
-                     2)});
+             wl::fmt(rows[i].mean_fault_us, 1),
+             wl::fmt(rows[i].messages_per_fault, 2)});
     }
     table.print();
 

@@ -10,15 +10,19 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace k2;
+
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
 
     wl::banner("Figure 6(b): ext2 energy efficiency (MB/J), "
                "8 files per run");
@@ -27,26 +31,37 @@ main()
     const char *labels[] = {"1KB (emails)", "256KB (pictures)",
                             "1MB (short videos)"};
 
+    wl::SweepRunner runner(jobs);
+    std::vector<wl::EpisodeResult> k2res(std::size(sizes));
+    std::vector<wl::EpisodeResult> lxres(std::size(sizes));
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::uint64_t size = sizes[i];
+        runner.submit([&k2res, i, size]() {
+            auto tb = wl::Testbed::makeK2();
+            k2res[i] = wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
+                                          wl::ext2Sync(tb.fs(), size));
+        });
+        runner.submit([&lxres, i, size]() {
+            auto tb = wl::Testbed::makeLinux();
+            lxres[i] = wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
+                                          wl::ext2Sync(tb.fs(), size));
+        });
+    }
+    runner.run();
+
     wl::Table table({"Single file size", "K2 MB/J", "Linux MB/J",
                      "K2/Linux", "K2 MB/s", "Linux MB/s"});
 
     double best_gain = 0;
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
-        auto k2tb = wl::Testbed::makeK2();
-        auto lxtb = wl::Testbed::makeLinux();
-        const auto k2res =
-            wl::runEpisodeWarm(k2tb.sys(), k2tb.proc(), "ext2",
-                               wl::ext2Sync(k2tb.fs(), sizes[i]));
-        const auto lxres =
-            wl::runEpisodeWarm(lxtb.sys(), lxtb.proc(), "ext2",
-                               wl::ext2Sync(lxtb.fs(), sizes[i]));
-        const double gain = k2res.mbPerJoule() / lxres.mbPerJoule();
+        const double gain =
+            k2res[i].mbPerJoule() / lxres[i].mbPerJoule();
         best_gain = std::max(best_gain, gain);
-        table.addRow({labels[i], wl::fmt(k2res.mbPerJoule(), 2),
-                      wl::fmt(lxres.mbPerJoule(), 2),
+        table.addRow({labels[i], wl::fmt(k2res[i].mbPerJoule(), 2),
+                      wl::fmt(lxres[i].mbPerJoule(), 2),
                       wl::fmt(gain, 1) + "x",
-                      wl::fmt(k2res.mbPerSec(), 1),
-                      wl::fmt(lxres.mbPerSec(), 1)});
+                      wl::fmt(k2res[i].mbPerSec(), 1),
+                      wl::fmt(lxres[i].mbPerSec(), 1)});
     }
     table.print();
     std::printf("\npeak K2 advantage: %.1fx (paper: up to ~8x)\n",

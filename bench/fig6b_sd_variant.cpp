@@ -12,10 +12,12 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "svc/sdcard.h"
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 namespace {
@@ -45,8 +47,10 @@ sdEfficiency(os::SystemImage &sys, kern::Process &proc,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Figure 6(b) variant: ext2 on flash (SD) instead of "
                "ramdisk");
 
@@ -54,32 +58,49 @@ main()
     const char *labels[] = {"1KB (emails)", "256KB (pictures)",
                             "1MB (short videos)"};
 
+    wl::SweepRunner runner(jobs);
+    std::vector<double> k2_sd(std::size(sizes));
+    std::vector<double> lx_sd(std::size(sizes));
+    std::vector<double> k2_ram(std::size(sizes));
+    std::vector<double> lx_ram(std::size(sizes));
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::uint64_t size = sizes[i];
+        runner.submit([&k2_sd, i, size]() {
+            os::K2System sys;
+            auto &proc = sys.createProcess("p");
+            k2_sd[i] = sdEfficiency(sys, proc, size);
+        });
+        runner.submit([&lx_sd, i, size]() {
+            baseline::LinuxSystem sys;
+            auto &proc = sys.createProcess("p");
+            lx_sd[i] = sdEfficiency(sys, proc, size);
+        });
+        // Ramdisk references from the standard testbeds.
+        runner.submit([&k2_ram, i, size]() {
+            auto tb = wl::Testbed::makeK2();
+            k2_ram[i] =
+                wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
+                                   wl::ext2Sync(tb.fs(), size))
+                    .mbPerJoule();
+        });
+        runner.submit([&lx_ram, i, size]() {
+            auto tb = wl::Testbed::makeLinux();
+            lx_ram[i] =
+                wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
+                                   wl::ext2Sync(tb.fs(), size))
+                    .mbPerJoule();
+        });
+    }
+    runner.run();
+
     wl::Table table({"Single file size", "K2 MB/J (SD)",
                      "Linux MB/J (SD)", "K2/Linux (SD)",
                      "K2/Linux (ramdisk)"});
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
-        os::K2System k2sys;
-        auto &k2proc = k2sys.createProcess("p");
-        baseline::LinuxSystem lxsys;
-        auto &lxproc = lxsys.createProcess("p");
-        const double k2_sd = sdEfficiency(k2sys, k2proc, sizes[i]);
-        const double lx_sd = sdEfficiency(lxsys, lxproc, sizes[i]);
-
-        // Ramdisk reference from the standard testbeds.
-        auto k2tb = wl::Testbed::makeK2();
-        auto lxtb = wl::Testbed::makeLinux();
-        const double k2_ram =
-            wl::runEpisodeWarm(k2tb.sys(), k2tb.proc(), "ext2",
-                               wl::ext2Sync(k2tb.fs(), sizes[i]))
-                .mbPerJoule();
-        const double lx_ram =
-            wl::runEpisodeWarm(lxtb.sys(), lxtb.proc(), "ext2",
-                               wl::ext2Sync(lxtb.fs(), sizes[i]))
-                .mbPerJoule();
-
-        table.addRow({labels[i], wl::fmt(k2_sd, 2), wl::fmt(lx_sd, 2),
-                      wl::fmt(k2_sd / lx_sd, 1) + "x",
-                      wl::fmt(k2_ram / lx_ram, 1) + "x"});
+        table.addRow({labels[i], wl::fmt(k2_sd[i], 2),
+                      wl::fmt(lx_sd[i], 2),
+                      wl::fmt(k2_sd[i] / lx_sd[i], 1) + "x",
+                      wl::fmt(k2_ram[i] / lx_ram[i], 1) + "x"});
     }
     table.print();
 

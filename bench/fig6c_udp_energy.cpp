@@ -11,9 +11,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 namespace {
@@ -28,9 +30,11 @@ struct Case
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace k2;
+
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
 
     wl::banner("Figure 6(c): UDP loopback energy efficiency (MB/J)");
 
@@ -41,26 +45,40 @@ main()
         {1048576, 4 * 1048576, "(1M,4M) bulk"},
     };
 
+    wl::SweepRunner runner(jobs);
+    std::vector<wl::EpisodeResult> k2res(std::size(cases));
+    std::vector<wl::EpisodeResult> lxres(std::size(cases));
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const Case c = cases[i];
+        runner.submit([&k2res, i, c]() {
+            auto tb = wl::Testbed::makeK2();
+            k2res[i] = wl::runEpisodeWarm(
+                tb.sys(), tb.proc(), "udp",
+                wl::udpLoopback(tb.udp(), c.batch, c.total));
+        });
+        runner.submit([&lxres, i, c]() {
+            auto tb = wl::Testbed::makeLinux();
+            lxres[i] = wl::runEpisodeWarm(
+                tb.sys(), tb.proc(), "udp",
+                wl::udpLoopback(tb.udp(), c.batch, c.total));
+        });
+    }
+    runner.run();
+
     wl::Table table({"(BatchSize,TotalSize)", "K2 MB/J", "Linux MB/J",
                      "K2/Linux", "K2 MB/s", "Linux MB/s"});
 
     double best_gain = 0;
-    for (const auto &c : cases) {
-        auto k2tb = wl::Testbed::makeK2();
-        auto lxtb = wl::Testbed::makeLinux();
-        const auto k2res = wl::runEpisodeWarm(
-            k2tb.sys(), k2tb.proc(), "udp",
-            wl::udpLoopback(k2tb.udp(), c.batch, c.total));
-        const auto lxres = wl::runEpisodeWarm(
-            lxtb.sys(), lxtb.proc(), "udp",
-            wl::udpLoopback(lxtb.udp(), c.batch, c.total));
-        const double gain = k2res.mbPerJoule() / lxres.mbPerJoule();
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const double gain =
+            k2res[i].mbPerJoule() / lxres[i].mbPerJoule();
         best_gain = std::max(best_gain, gain);
-        table.addRow({c.label, wl::fmt(k2res.mbPerJoule(), 2),
-                      wl::fmt(lxres.mbPerJoule(), 2),
+        table.addRow({cases[i].label,
+                      wl::fmt(k2res[i].mbPerJoule(), 2),
+                      wl::fmt(lxres[i].mbPerJoule(), 2),
                       wl::fmt(gain, 1) + "x",
-                      wl::fmt(k2res.mbPerSec(), 1),
-                      wl::fmt(lxres.mbPerSec(), 1)});
+                      wl::fmt(k2res[i].mbPerSec(), 1),
+                      wl::fmt(lxres[i].mbPerSec(), 1)});
     }
     table.print();
     std::printf("\npeak K2 advantage: %.1fx (paper: up to ~10x)\n",

@@ -304,4 +304,21 @@ BENCHMARK(BM_TlbLookup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Records *this repo's* CMAKE_BUILD_TYPE in the JSON context.
+// google-benchmark's own "library_build_type" reflects how the system
+// libbenchmark package was compiled and can read "debug" even for a
+// Release build of k2; k2_build_type is what scripts/run_bench.sh and
+// scripts/compare_bench.py trust.
+int
+main(int argc, char **argv)
+{
+#ifdef K2_BUILD_TYPE
+    benchmark::AddCustomContext("k2_build_type", K2_BUILD_TYPE);
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -19,9 +19,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "workloads/episode.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 namespace {
@@ -54,72 +56,85 @@ saturate(svc::DmaDriver &dma, std::uint64_t batch, sim::Time deadline)
     };
 }
 
-Result
-runCase(std::uint64_t batch)
+constexpr sim::Duration kWindow = sim::sec(2);
+
+/** Baseline Linux: one driver loop on the strong domain. */
+void
+runLinuxCase(std::uint64_t batch, Result &res)
 {
-    constexpr sim::Duration kWindow = sim::sec(2);
-    Result res{};
+    baseline::LinuxConfig cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeLinux(cfg);
+    const sim::Time deadline = tb.engine().now() + kWindow;
+    std::uint64_t bytes = 0;
+    tb.sys().spawnNormal(tb.proc(), "dma",
+                         [&, batch](Thread &t) -> Task<void> {
+                             bytes = co_await saturate(
+                                 tb.dma(), batch, deadline)(t);
+                         });
+    tb.engine().run();
+    res.linux_mbps = bytes / sim::toSec(kWindow) / 1e6;
+}
 
-    // Baseline Linux: one driver loop on the strong domain.
-    {
-        baseline::LinuxConfig cfg;
-        cfg.soc.costs.inactiveTimeout = 0;
-        auto tb = wl::Testbed::makeLinux(cfg);
-        const sim::Time deadline = tb.engine().now() + kWindow;
-        std::uint64_t bytes = 0;
-        tb.sys().spawnNormal(tb.proc(), "dma",
-                             [&, batch](Thread &t) -> Task<void> {
-                                 bytes = co_await saturate(
-                                     tb.dma(), batch, deadline)(t);
-                             });
-        tb.engine().run();
-        res.linux_mbps = bytes / sim::toSec(kWindow) / 1e6;
-    }
-
-    // K2: both kernels at full speed (separate processes, so
-    // multi-domain parallelism is allowed, §4.3).
-    {
-        os::K2Config cfg;
-        cfg.soc.costs.inactiveTimeout = 0;
-        auto tb = wl::Testbed::makeK2(cfg);
-        auto &proc2 = tb.sys().createProcess("shadow-load");
-        const sim::Time deadline = tb.engine().now() + kWindow;
-        std::uint64_t main_bytes = 0;
-        std::uint64_t shadow_bytes = 0;
-        tb.sys().mainKernel().spawnThread(
-            &tb.proc(), "dma-main", ThreadKind::Normal,
-            [&, batch](Thread &t) -> Task<void> {
-                main_bytes =
-                    co_await saturate(tb.dma(), batch, deadline)(t);
-            });
-        tb.k2()->shadowKernel().spawnThread(
-            &proc2, "dma-shadow", ThreadKind::Normal,
-            [&, batch](Thread &t) -> Task<void> {
-                shadow_bytes =
-                    co_await saturate(tb.dma(), batch, deadline)(t);
-            });
-        tb.engine().run();
-        res.k2_main = main_bytes / sim::toSec(kWindow) / 1e6;
-        res.k2_shadow = shadow_bytes / sim::toSec(kWindow) / 1e6;
-        res.k2_total = res.k2_main + res.k2_shadow;
-    }
-    return res;
+/** K2: both kernels at full speed (separate processes, so
+ *  multi-domain parallelism is allowed, §4.3). */
+void
+runK2Case(std::uint64_t batch, Result &res)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    auto tb = wl::Testbed::makeK2(cfg);
+    auto &proc2 = tb.sys().createProcess("shadow-load");
+    const sim::Time deadline = tb.engine().now() + kWindow;
+    std::uint64_t main_bytes = 0;
+    std::uint64_t shadow_bytes = 0;
+    tb.sys().mainKernel().spawnThread(
+        &tb.proc(), "dma-main", ThreadKind::Normal,
+        [&, batch](Thread &t) -> Task<void> {
+            main_bytes =
+                co_await saturate(tb.dma(), batch, deadline)(t);
+        });
+    tb.k2()->shadowKernel().spawnThread(
+        &proc2, "dma-shadow", ThreadKind::Normal,
+        [&, batch](Thread &t) -> Task<void> {
+            shadow_bytes =
+                co_await saturate(tb.dma(), batch, deadline)(t);
+        });
+    tb.engine().run();
+    res.k2_main = main_bytes / sim::toSec(kWindow) / 1e6;
+    res.k2_shadow = shadow_bytes / sim::toSec(kWindow) / 1e6;
+    res.k2_total = res.k2_main + res.k2_shadow;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
     wl::banner("Table 6: concurrent DMA throughput (MB/s)");
 
     const std::uint64_t batches[] = {4096, 131072, 262144, 1048576};
     const char *labels[] = {"4K", "128K", "256K", "1M"};
 
+    // The Linux and K2 measurements for one batch size use separate
+    // testbeds, so each is its own sweep cell filling half a Result.
+    wl::SweepRunner runner(jobs);
+    std::vector<Result> results(std::size(batches));
+    for (std::size_t i = 0; i < std::size(batches); ++i) {
+        const std::uint64_t batch = batches[i];
+        runner.submit(
+            [&results, i, batch]() { runLinuxCase(batch, results[i]); });
+        runner.submit(
+            [&results, i, batch]() { runK2Case(batch, results[i]); });
+    }
+    runner.run();
+
     wl::Table table({"DMA BatchSize", "Linux", "K2", "K2 vs Linux",
                      "K2:Main", "K2:Shadow"});
     for (std::size_t i = 0; i < std::size(batches); ++i) {
-        const Result r = runCase(batches[i]);
+        const Result &r = results[i];
         const double delta =
             (r.k2_total - r.linux_mbps) / r.linux_mbps * 100.0;
         table.addRow({labels[i], wl::fmt(r.linux_mbps, 1),

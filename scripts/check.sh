@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Configure, build, and run the full test suite.
 #
-# Usage: scripts/check.sh [--asan]
+# Usage: scripts/check.sh [--asan | --tsan]
 #
 # With --asan, builds into build-asan/ with AddressSanitizer + UBSan
 # (-DK2_SANITIZE=ON); this continuously checks the engine's manual
 # event-pool allocator for lifetime bugs.
+#
+# With --tsan, builds into build-tsan/ with ThreadSanitizer
+# (-DK2_SANITIZE=thread) and runs the tests that exercise host-thread
+# parallelism: the sweep harness and the thread-confined log
+# configuration. TSan and the simulator's single-threaded tier-1 suite
+# don't mix usefully, so only the parallel tests run in this mode.
 
 set -euo pipefail
 
@@ -14,16 +20,33 @@ cd "$ROOT"
 
 BUILD_DIR=build
 EXTRA=()
-if [ "${1:-}" = "--asan" ]; then
+MODE="${1:-}"
+if [ "$MODE" = "--asan" ]; then
     BUILD_DIR=build-asan
     EXTRA=(-DK2_SANITIZE=ON)
     # Eternal detached coroutines (scheduler core loops) are reclaimed
     # only at process exit; see the suppression file.
     export LSAN_OPTIONS="suppressions=$ROOT/scripts/lsan.supp${LSAN_OPTIONS:+:$LSAN_OPTIONS}"
+elif [ "$MODE" = "--tsan" ]; then
+    BUILD_DIR=build-tsan
+    EXTRA=(-DK2_SANITIZE=thread)
 fi
 
 cmake -B "$BUILD_DIR" -S . -G Ninja "${EXTRA[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j
+
+if [ "$MODE" = "--tsan" ]; then
+    # Race-check the parallel sweep paths, then exercise a ported
+    # sweep binary and the testbed at an adversarial thread count.
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+        -R 'SweepRunner|ScopedLogConfig|ParseJobsFlag'
+    "$BUILD_DIR"/bench/fig6a_dma_energy --jobs=13 >/dev/null
+    "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
+        >/dev/null
+    echo "tsan: parallel sweep tests OK"
+    exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 # Observability smoke: one short testbed run must emit a metrics

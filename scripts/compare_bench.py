@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files (tier-2 perf gate).
+
+Usage: scripts/compare_bench.py BASELINE.json CANDIDATE.json
+       [--threshold PCT]
+
+Exits non-zero when any benchmark present in both files regresses its
+real_time by more than the threshold (default 15%), or when any
+benchmark's allocs/op counter increases at all -- the event core's
+zero-allocation guarantees are exact, so a single new allocation per
+op is a regression, not noise.
+
+Typical use:
+
+    scripts/run_bench.sh               # baseline -> BENCH_sim.json
+    ... make changes ...
+    build-bench/bench/micro_sim --benchmark_format=json \
+        --benchmark_out=/tmp/cand.json --benchmark_out_format=json
+    scripts/compare_bench.py BENCH_sim.json /tmp/cand.json
+"""
+
+import argparse
+import json
+import sys
+
+# allocs/op below this is a one-time setup allocation amortized over
+# the iteration count (e.g. 1.2e-07 with a different denominator per
+# run), not a per-op allocation; treat it as zero.
+ALLOC_EPSILON = 1e-3
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    benches = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        benches[b["name"]] = b
+    if not benches:
+        sys.exit(f"error: {path} contains no benchmarks")
+    return data.get("context", {}), benches
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="max allowed real_time regression in percent "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    base_ctx, base = load(args.baseline)
+    cand_ctx, cand = load(args.candidate)
+
+    for label, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
+        bt = ctx.get("k2_build_type")
+        if bt is not None and bt != "Release":
+            print(f"warning: {label} was built as {bt}, not Release; "
+                  "its numbers are not comparable", file=sys.stderr)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("error: the two files share no benchmark names")
+    for name in sorted(set(base) - set(cand)):
+        print(f"warning: {name} missing from candidate", file=sys.stderr)
+
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'cand':>12}  "
+          f"{'delta':>8}  allocs/op")
+    for name in shared:
+        b, c = base[name], cand[name]
+        bt, ct = b["real_time"], c["real_time"]
+        unit = b.get("time_unit", "ns")
+        delta = (ct - bt) / bt * 100.0 if bt else 0.0
+        def allocs(entry):
+            v = entry.get("allocs/op")
+            if v is None:
+                return None
+            return 0.0 if v < ALLOC_EPSILON else v
+
+        ba = allocs(b)
+        ca = allocs(c)
+        alloc_txt = "-"
+        if ba is not None or ca is not None:
+            alloc_txt = f"{ba if ba is not None else 0:g} -> " \
+                        f"{ca if ca is not None else 0:g}"
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            failures.append(
+                f"{name}: real_time {bt:.1f} -> {ct:.1f} {unit} "
+                f"(+{delta:.1f}% > {args.threshold:g}%)")
+        if ca is not None and ca > (ba or 0.0):
+            flag += "  ALLOC-REGRESSION"
+            failures.append(
+                f"{name}: allocs/op {ba if ba is not None else 0:g} "
+                f"-> {ca:g} (any increase fails)")
+        print(f"{name:<{width}}  {bt:>10.1f}{unit:>2}  "
+              f"{ct:>10.1f}{unit:>2}  {delta:>+7.1f}%  "
+              f"{alloc_txt}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(shared)} benchmarks within {args.threshold:g}% "
+          "and no allocs/op increases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,17 +2,40 @@
 # Run the micro_sim google-benchmark suite and record the results as
 # BENCH_sim.json at the repo root. That file is the tracked host-side
 # performance baseline: future PRs compare their numbers against it
-# and re-record it when they move the needle.
+# (scripts/compare_bench.py) and re-record it when they move the
+# needle.
 #
 # Usage: scripts/run_bench.sh [build-dir]
+#
+# The baseline must come from an optimized build: the default build
+# dir is build-bench/, configured as Release. Passing an existing
+# build dir whose CMAKE_BUILD_TYPE is not Release is refused.
+#
+# Note: the JSON context's "library_build_type" describes the system
+# libbenchmark package (often "debug" on Debian) -- it says nothing
+# about k2's own optimization level. The authoritative field is
+# "k2_build_type", stamped by micro_sim from CMAKE_BUILD_TYPE.
 
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake -B "$BUILD_DIR" -S . -G Ninja >/dev/null
+if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+        "$BUILD_DIR/CMakeCache.txt")"
+    if [ "$BT" != "Release" ]; then
+        echo "error: $BUILD_DIR is configured as '${BT:-unset}', not" \
+             "Release." >&2
+        echo "Benchmark baselines must come from an optimized build;" \
+             "rerun without arguments to use build-bench/ (Release)." >&2
+        exit 1
+    fi
+fi
+
+cmake -B "$BUILD_DIR" -S . -G Ninja \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_sim
 
 "$BUILD_DIR/bench/micro_sim" \

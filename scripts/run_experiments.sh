@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure plus the extension experiments.
 #
-# Usage: scripts/run_experiments.sh [build-dir]
+# Usage: scripts/run_experiments.sh [--jobs=N] [build-dir]
 #
 # Builds (if needed), runs the test suite, then executes every bench
 # binary, teeing the combined output to <build-dir>/experiments.txt.
+#
+# --jobs=N shards each sweep binary's independent simulation cells
+# across N host threads (default: all of them, $(nproc)). Output is
+# byte-identical at any thread count -- see DESIGN.md §8.
 
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+BUILD_DIR=build
+for arg in "$@"; do
+    case "$arg" in
+        --jobs=*) JOBS="${arg#--jobs=}" ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
@@ -16,18 +28,34 @@ cmake -B "$BUILD_DIR" -G Ninja >/dev/null
 cmake --build "$BUILD_DIR"
 
 echo "== running test suite =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# Sweep binaries ported to the parallel harness (workloads/sweep.h);
+# the rest are single-scenario and take no flags.
+supports_jobs() {
+    case "$(basename "$1")" in
+        fig6a_dma_energy|fig6b_ext2_energy|fig6b_sd_variant| \
+        fig6c_udp_energy|table6_dma_concurrent|ablation_arch_features| \
+        ablation_dsm_protocol|ablation_shared_allocator| \
+        extension_ndomain) return 0 ;;
+        *) return 1 ;;
+    esac
+}
 
 OUT="$BUILD_DIR/experiments.txt"
 : > "$OUT"
-echo "== running benches (output: $OUT) =="
+echo "== running benches (output: $OUT, --jobs=$JOBS) =="
 for b in "$BUILD_DIR"/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     case "$b" in *cmake*|*CMake*|*CTest*) continue ;; esac
+    ARGS=()
+    if supports_jobs "$b"; then
+        ARGS=(--jobs="$JOBS")
+    fi
     {
         echo
         echo "############ $(basename "$b") ############"
-        "$b"
+        "$b" "${ARGS[@]}"
     } | tee -a "$OUT"
 done
 

@@ -183,9 +183,18 @@ BuddyAllocator::addFreeRange(PageRange range)
                      name_.c_str(), static_cast<unsigned long long>(p));
     }
 
+    work += workModel_.perMerge * insertFreeSpan(range.first, range.count);
+    freePages_ += range.count;
+    return work;
+}
+
+std::uint64_t
+BuddyAllocator::insertFreeSpan(Pfn first, std::uint64_t count)
+{
     // Greedily insert maximal aligned blocks.
-    Pfn p = range.first;
-    std::uint64_t remaining = range.count;
+    std::uint64_t blocks = 0;
+    Pfn p = first;
+    std::uint64_t remaining = count;
     while (remaining > 0) {
         unsigned order = kMaxOrder;
         while (order > 0 &&
@@ -194,12 +203,11 @@ BuddyAllocator::addFreeRange(PageRange range)
             --order;
         }
         insertFree(p, order);
-        work += workModel_.perMerge;
+        ++blocks;
         p += 1ull << order;
         remaining -= 1ull << order;
     }
-    freePages_ += range.count;
-    return work;
+    return blocks;
 }
 
 Pfn
@@ -220,32 +228,19 @@ BuddyAllocator::freeBlockHead(Pfn pfn) const
 }
 
 std::uint64_t
-BuddyAllocator::carveFreePage(Pfn pfn)
+BuddyAllocator::carveSplits(Pfn blockFirst, unsigned order, Pfn lo,
+                            Pfn hi)
 {
-    const Pfn head = freeBlockHead(pfn);
-    unsigned order = meta(head).order;
-    removeFree(head, order);
-    std::uint64_t work = 0;
-
-    // Recursively split, keeping the half containing pfn out and
-    // reinserting the other half.
-    Pfn block = head;
-    while (order > 0) {
-        --order;
-        const Pfn lower = block;
-        const Pfn upper = block + (1ull << order);
-        if (pfn >= upper) {
-            insertFree(lower, order);
-            block = upper;
-        } else {
-            insertFree(upper, order);
-            block = lower;
-        }
-        work += workModel_.perSplit;
-    }
-    meta(pfn).state = PageState::NotOwned;
-    --freePages_;
-    return work;
+    const Pfn block_end = blockFirst + (1ull << order);
+    if (hi <= blockFirst || lo >= block_end)
+        return 0;
+    if (lo <= blockFirst && block_end <= hi)
+        return (1ull << order) - 1;
+    // Partially covered: one split, then recurse into both halves.
+    const unsigned half = order - 1;
+    const Pfn mid = blockFirst + (1ull << half);
+    return 1 + carveSplits(blockFirst, half, lo, hi) +
+           carveSplits(mid, half, lo, hi);
 }
 
 std::uint64_t
@@ -276,39 +271,50 @@ BuddyAllocator::reclaimRange(PageRange range)
     ReclaimResult res;
 
     // Pass 1: the range must contain only free pages and movable
-    // allocations, all fully inside the range.
+    // allocations, all fully inside the range. Walk block to block
+    // (the per-order metadata makes every block's extent known at its
+    // head), counting the free pages inside the range as we go.
     std::uint64_t movable = 0;
-    for (Pfn p = range.first; p < range.end(); ++p) {
+    std::uint64_t free_inside = 0;
+    for (Pfn p = range.first; p < range.end();) {
         const PageMeta &m = meta(p);
         switch (m.state) {
           case PageState::NotOwned:
             K2_PANIC("allocator '%s': reclaim of unowned pfn %llu",
                      name_.c_str(), static_cast<unsigned long long>(p));
-          case PageState::AllocHead:
+          case PageState::AllocHead: {
             if (m.migrate == Migrate::Unmovable)
                 return res; // fail, no side effects
-            if (p + (1ull << m.order) > range.end())
+            const std::uint64_t n = 1ull << m.order;
+            if (p + n > range.end())
                 return res; // allocation straddles the range end
-            movable += 1ull << m.order;
-            p += (1ull << m.order) - 1;
+            movable += n;
+            p += n;
             break;
+          }
           case PageState::AllocBody:
             // A body with no head inside the range: allocation
             // straddles the range start.
             return res;
-          default:
+          case PageState::FreeHead: {
+            const Pfn block_end = p + (1ull << m.order);
+            free_inside += std::min(block_end, range.end()) - p;
+            p = block_end;
             break;
+          }
+          case PageState::FreeBody: {
+            // Only possible when a free block straddles range.first.
+            const Pfn head = freeBlockHead(p);
+            const Pfn block_end = head + (1ull << meta(head).order);
+            free_inside += std::min(block_end, range.end()) - p;
+            p = block_end;
+            break;
+          }
         }
     }
 
     // Migration feasibility: enough free pages strictly outside the
     // range. (Free pages inside it are being reclaimed.)
-    std::uint64_t free_inside = 0;
-    for (Pfn p = range.first; p < range.end(); ++p) {
-        const PageState s = meta(p).state;
-        if (s == PageState::FreeHead || s == PageState::FreeBody)
-            ++free_inside;
-    }
     if (freePages_ - free_inside < movable)
         return res;
 
@@ -320,28 +326,54 @@ BuddyAllocator::reclaimRange(PageRange range)
     for (Pfn p = range.first; p < range.end();) {
         PageMeta &m = meta(p);
         if (m.state == PageState::AllocHead) {
-            const unsigned order = m.order;
-            const std::uint64_t n = 1ull << order;
+            const std::uint64_t n = 1ull << m.order;
             // Mark old pages as leaving the allocator.
             for (std::uint64_t i = 0; i < n; ++i)
                 meta_[rel(p) + i].state = PageState::NotOwned;
             allocatedPages_ -= n;
-            // Re-allocate outside. This may transiently pick a block
-            // inside the range; forbid that by carving the range's
-            // free pages out *first* (below we instead carve now).
             res.migrated += n;
             res.work += workModel_.perMigrate * n;
             p += n;
+        } else if (m.state == PageState::FreeHead) {
+            p += 1ull << m.order;
+        } else if (m.state == PageState::FreeBody) {
+            const Pfn head = freeBlockHead(p);
+            p = head + (1ull << meta(head).order);
         } else {
             ++p;
         }
     }
 
-    // Pass 3: carve out free pages within the range.
-    for (Pfn p = range.first; p < range.end(); ++p) {
+    // Pass 3: carve the range out of the free blocks that intersect
+    // it, a whole block at a time: unlink the block, mark the
+    // intersection NotOwned, and reinsert the parts outside the range
+    // as maximal aligned blocks. Work units charge the splits the
+    // recursive dissection would perform (carveSplits), so the cost
+    // model is unchanged from carving page by page -- only the host
+    // time is.
+    for (Pfn p = range.first; p < range.end();) {
         const PageState s = meta(p).state;
-        if (s == PageState::FreeHead || s == PageState::FreeBody)
-            res.work += carveFreePage(p);
+        if (s != PageState::FreeHead && s != PageState::FreeBody) {
+            ++p;
+            continue;
+        }
+        const Pfn head = (s == PageState::FreeHead) ? p
+                                                    : freeBlockHead(p);
+        const unsigned order = meta(head).order;
+        const Pfn block_end = head + (1ull << order);
+        const Pfn lo = std::max(head, range.first);
+        const Pfn hi = std::min(block_end, range.end());
+
+        removeFree(head, order);
+        res.work += workModel_.perSplit * carveSplits(head, order, lo, hi);
+        for (Pfn q = lo; q < hi; ++q)
+            meta_[rel(q)].state = PageState::NotOwned;
+        freePages_ -= hi - lo;
+        if (head < lo)
+            insertFreeSpan(head, lo - head);
+        if (hi < block_end)
+            insertFreeSpan(hi, block_end - hi);
+        p = block_end;
     }
 
     // Pass 4: now re-home the evacuated pages outside the range.

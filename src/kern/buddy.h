@@ -181,11 +181,24 @@ class BuddyAllocator
     Pfn freeBlockHead(Pfn pfn) const;
 
     /**
-     * Carve @p pfn's page out of the free block that contains it,
-     * returning the rest of the block to the free lists.
-     * @return Work units.
+     * Insert the span [first, first+count) into the free lists as
+     * maximal aligned blocks (the unique buddy decomposition of the
+     * span). Page states are rewritten; the span's pages must not be
+     * on any free list.
+     *
+     * @return Number of blocks inserted.
      */
-    std::uint64_t carveFreePage(Pfn pfn);
+    std::uint64_t insertFreeSpan(Pfn first, std::uint64_t count);
+
+    /**
+     * Split count the recursive buddy dissection performs to carve
+     * [lo, hi) out of the block at @p blockFirst of @p order: nodes
+     * fully inside the carve region dissect completely (2^k - 1
+     * splits), partially covered nodes split once and recurse. Keeps
+     * reclaimRange()'s work units identical to carving page by page.
+     */
+    static std::uint64_t carveSplits(Pfn blockFirst, unsigned order,
+                                     Pfn lo, Pfn hi);
 
     std::string name_;
     Pfn base_;

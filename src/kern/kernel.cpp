@@ -5,12 +5,6 @@
 namespace k2 {
 namespace kern {
 
-namespace {
-
-Tid g_next_tid = 1;
-
-} // namespace
-
 Kernel::Kernel(soc::Soc &soc, soc::DomainId domain, std::string name)
     : soc_(soc), domainId_(domain), name_(std::move(name))
 {
@@ -66,7 +60,7 @@ Kernel::spawnThread(Process *proc, std::string name, ThreadKind kind,
 {
     K2_ASSERT(booted_);
     threads_.push_back(std::make_unique<Thread>(
-        *this, proc, g_next_tid++, std::move(name), kind,
+        *this, proc, soc_.allocThreadId(), std::move(name), kind,
         std::move(body)));
     Thread *t = threads_.back().get();
     if (proc)

@@ -16,11 +16,30 @@
 #define K2_SIM_TASK_H
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
 #include "sim/log.h"
+
+// Frame recycling is disabled under AddressSanitizer: reusing frame
+// memory without going through the heap would defeat ASan's
+// use-after-free quarantine, and LSan would attribute a parked
+// daemon coroutine's frame to whatever call site happened to allocate
+// the recycled block first, breaking the scripts/lsan.supp stack
+// matching.
+#if defined(__SANITIZE_ADDRESS__)
+#define K2_FRAME_CACHE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define K2_FRAME_CACHE 0
+#endif
+#endif
+#ifndef K2_FRAME_CACHE
+#define K2_FRAME_CACHE 1
+#endif
 
 namespace k2 {
 namespace sim {
@@ -30,10 +49,122 @@ class Task;
 
 namespace detail {
 
+/**
+ * Thread-confined recycling allocator for coroutine frames.
+ *
+ * Every co_await of a child task allocates (and on completion frees)
+ * one coroutine frame, which makes general-purpose malloc the
+ * dominant cost of deep await chains -- the hottest host-side path of
+ * every simulated activity. Frames cluster into a handful of small
+ * sizes, so a per-thread array of size-bucketed free lists turns the
+ * alloc/free pair into two pointer pops in steady state.
+ *
+ * The cache is thread_local: no locks, no sharing, and therefore
+ * safe under concurrent sweep cells (each cell's engine is confined
+ * to one worker thread). Blocks are allocated at their bucket's
+ * rounded-up size, so any frame whose size maps to the same bucket
+ * may reuse them; oversized or overflow blocks fall back to the
+ * global heap. The destructor releases everything, so worker threads
+ * do not leak on exit.
+ */
+class FrameCache
+{
+  public:
+    /** Bucket granularity; frames round up to a multiple of this. */
+    static constexpr std::size_t kGranule = 64;
+    /** Buckets cover frames up to kGranule * kBuckets bytes. */
+    static constexpr std::size_t kBuckets = 16;
+    /** Per-bucket cap; beyond it blocks return to the heap. */
+    static constexpr std::size_t kMaxPerBucket = 128;
+
+    ~FrameCache()
+    {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            while (Node *n = free_[b]) {
+                free_[b] = n->next;
+                ::operator delete(static_cast<void *>(n));
+            }
+        }
+    }
+
+    void *
+    alloc(std::size_t n)
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets && free_[b]) {
+            Node *node = free_[b];
+            free_[b] = node->next;
+            --count_[b];
+            return node;
+        }
+        const std::size_t bytes =
+            (b < kBuckets) ? (b + 1) * kGranule : n;
+        return ::operator new(bytes);
+    }
+
+    void
+    free(void *p, std::size_t n)
+    {
+        const std::size_t b = bucket(n);
+        if (b < kBuckets && count_[b] < kMaxPerBucket) {
+            Node *node = static_cast<Node *>(p);
+            node->next = free_[b];
+            free_[b] = node;
+            ++count_[b];
+            return;
+        }
+        ::operator delete(p);
+    }
+
+    static FrameCache &
+    local()
+    {
+        thread_local FrameCache cache;
+        return cache;
+    }
+
+  private:
+    struct Node
+    {
+        Node *next;
+    };
+
+    static std::size_t
+    bucket(std::size_t n)
+    {
+        return (n + kGranule - 1) / kGranule - 1;
+    }
+
+    Node *free_[kBuckets] = {};
+    std::size_t count_[kBuckets] = {};
+};
+
 /** State shared by all task promises. */
 class PromiseBase
 {
   public:
+    /** Route coroutine-frame storage through the thread's
+     *  FrameCache (found by argument-dependent promise lookup). */
+    static void *
+    operator new(std::size_t n)
+    {
+#if K2_FRAME_CACHE
+        return FrameCache::local().alloc(n);
+#else
+        return ::operator new(n);
+#endif
+    }
+
+    static void
+    operator delete(void *p, std::size_t n)
+    {
+#if K2_FRAME_CACHE
+        FrameCache::local().free(p, n);
+#else
+        ::operator delete(p, n);
+#endif
+    }
+
     std::suspend_always initial_suspend() noexcept { return {}; }
 
     class FinalAwaiter

@@ -69,6 +69,17 @@ class Soc
     void raiseSharedIrq(IrqLine line);
 
     /**
+     * Allocate a platform-unique thread id (monotonic from 1).
+     *
+     * All kernels booted on this SoC draw from one counter so tids
+     * are unique across coherence domains, and the counter is owned
+     * by the platform -- not a process-wide global -- so concurrent
+     * simulator instances stay fully isolated and each run's tid
+     * sequence is deterministic.
+     */
+    std::uint32_t allocThreadId() { return nextTid_++; }
+
+    /**
      * Register all hardware-level metrics under the "soc." prefix:
      * mailbox traffic, DMA transfers, hardware spinlock contention,
      * per-domain interrupt counts, per-core residency/wakeups and
@@ -84,6 +95,7 @@ class Soc
     std::unique_ptr<MailboxNet> mailbox_;
     std::unique_ptr<HwSpinlockBank> spinlocks_;
     std::unique_ptr<DmaEngine> dma_;
+    std::uint32_t nextTid_ = 1;
 };
 
 } // namespace soc

@@ -1,0 +1,176 @@
+#include "workloads/sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace k2 {
+namespace wl {
+
+struct SweepRunner::CellState
+{
+    Cell fn;
+    std::string out;           //!< Captured inform() text.
+    std::string err;           //!< Captured warn()/trace() text.
+    std::exception_ptr error;  //!< Set if the cell threw.
+};
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs
+                 : std::max(1u, std::thread::hardware_concurrency())),
+      cellLevel_(sim::logLevel())
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+std::size_t
+SweepRunner::size() const
+{
+    return cells_.size();
+}
+
+std::size_t
+SweepRunner::submit(Cell cell)
+{
+    cells_.push_back(CellState{std::move(cell), {}, {}, nullptr});
+    return cells_.size() - 1;
+}
+
+void
+SweepRunner::runCell(CellState &cell)
+{
+    // Thread-confined log configuration: the cell's engine(s) log at
+    // cellLevel_ into the cell's private buffers, so concurrent cells
+    // never share the log knob or interleave output.
+    sim::ScopedLogConfig scope(cellLevel_, &cell.out, &cell.err);
+    try {
+        cell.fn();
+    } catch (...) {
+        cell.error = std::current_exception();
+    }
+}
+
+void
+SweepRunner::run()
+{
+    if (cells_.empty())
+        return;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, cells_.size()));
+
+    if (workers <= 1) {
+        // Serial reference behaviour: the calling thread runs every
+        // cell in submission order (still under capture, so the
+        // emitted bytes match the parallel path exactly).
+        for (CellState &cell : cells_)
+            runCell(cell);
+    } else {
+        // Work-stealing pool: cells are dealt round-robin into
+        // per-worker deques; a worker pops from the front of its own
+        // deque and, when empty, steals from the back of another's.
+        // Stealing only changes *which thread* runs a cell -- never
+        // what the cell computes or where its output lands -- so the
+        // schedule is free to be nondeterministic while every
+        // artifact stays byte-identical.
+        struct WorkQueue
+        {
+            std::mutex mu;
+            std::deque<std::size_t> q;
+        };
+        std::vector<WorkQueue> queues(workers);
+        for (std::size_t i = 0; i < cells_.size(); ++i)
+            queues[i % workers].q.push_back(i);
+
+        auto workerBody = [this, &queues, workers](unsigned self) {
+            for (;;) {
+                std::size_t idx;
+                bool found = false;
+                {
+                    WorkQueue &own = queues[self];
+                    std::lock_guard<std::mutex> lock(own.mu);
+                    if (!own.q.empty()) {
+                        idx = own.q.front();
+                        own.q.pop_front();
+                        found = true;
+                    }
+                }
+                for (unsigned v = 1; !found && v < workers; ++v) {
+                    WorkQueue &victim = queues[(self + v) % workers];
+                    std::lock_guard<std::mutex> lock(victim.mu);
+                    if (!victim.q.empty()) {
+                        idx = victim.q.back();
+                        victim.q.pop_back();
+                        found = true;
+                    }
+                }
+                if (!found)
+                    return; // all queues drained; no new work appears
+                runCell(cells_[idx]);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(workerBody, w);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Replay captured output in submission order, then surface the
+    // first failure. Replay happens even when a cell failed, so a
+    // fatal cell's context is visible before the throw. Routing via
+    // logToOut/logToErr keeps replay composable: a caller that is
+    // itself running under a ScopedLogConfig captures the replayed
+    // text instead of it hitting the real streams.
+    for (CellState &cell : cells_) {
+        if (!cell.out.empty())
+            sim::logToOut(cell.out);
+        if (!cell.err.empty())
+            sim::logToErr(cell.err);
+    }
+    std::fflush(stdout);
+
+    std::exception_ptr first;
+    for (CellState &cell : cells_) {
+        if (cell.error) {
+            first = cell.error;
+            break;
+        }
+    }
+    cells_.clear();
+    if (first)
+        std::rethrow_exception(first);
+}
+
+unsigned
+parseJobsFlag(int &argc, char **argv, unsigned fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        static constexpr const char kFlag[] = "--jobs=";
+        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
+            continue;
+        const char *value = argv[i] + sizeof(kFlag) - 1;
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0' || n == 0 || n > 4096)
+            K2_FATAL("--jobs expects an integer in [1, 4096], got '%s'",
+                     value);
+        for (int j = i; j + 1 < argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return static_cast<unsigned>(n);
+    }
+    return fallback;
+}
+
+} // namespace wl
+} // namespace k2

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Parallel sweep harness: shard independent simulation cells across
+ * host threads with byte-identical results.
+ *
+ * Every experiment in the evaluation is a sweep over independent
+ * (system, workload config, seed) cells, each of which builds its own
+ * sim::Engine + SystemImage, runs to quiescence, and produces a row
+ * of a table / a metrics snapshot / an energy figure. Cells share no
+ * mutable state (see DESIGN.md §8 for the isolation rules), so the
+ * sweep is data-parallel over isolated simulator instances.
+ *
+ * SweepRunner executes submitted cells on a small work-stealing pool
+ * of host threads and guarantees that every observable artifact is
+ * byte-identical to serial execution, at any thread count:
+ *
+ *  - Results: a cell communicates results only by writing state the
+ *    caller reads after run() (typically a slot in a pre-sized
+ *    vector, indexed by submission order). The runner never reorders
+ *    or merges results itself.
+ *  - Logs: each cell runs under a sim::ScopedLogConfig that captures
+ *    the warn()/inform()/trace() text the cell emits; the runner
+ *    replays the captured streams to stderr/stdout in submission
+ *    order after all cells finish. Concurrent cells can therefore
+ *    never interleave output.
+ *  - Errors: a FatalError (or any exception) thrown inside a cell is
+ *    rethrown on the caller's thread, lowest submission index first,
+ *    after the pool has drained.
+ *
+ * With jobs() == 1 the calling thread executes the cells in
+ * submission order with no pool at all -- exactly the serial
+ * behaviour the parallel runs are required to reproduce.
+ */
+
+#ifndef K2_WORKLOADS_SWEEP_H
+#define K2_WORKLOADS_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+class SweepRunner
+{
+  public:
+    /** A sweep cell: owns everything it touches (engine, system,
+     *  services), writes results only to caller-provided slots. */
+    using Cell = std::function<void()>;
+
+    /**
+     * @param jobs Worker thread count; 0 selects the host's hardware
+     *        concurrency. 1 runs cells inline on the calling thread.
+     */
+    explicit SweepRunner(unsigned jobs = 0);
+    ~SweepRunner();
+
+    /** Worker threads run() will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Queue a cell. Cells are independent; they may run on any worker
+     * in any order, but captured logs and error reporting follow
+     * submission order.
+     *
+     * @return The cell's submission index.
+     */
+    std::size_t submit(Cell cell);
+
+    /**
+     * Run all submitted cells to completion and replay their captured
+     * log output in submission order (cell stdout text to stdout,
+     * stderr text to stderr). Rethrows the first failed cell's
+     * exception (by submission order) after every cell has finished.
+     * Afterwards the runner is empty and may be reused.
+     */
+    void run();
+
+    /** Number of cells currently queued. */
+    std::size_t size() const;
+
+    /** The log verbosity cells run under (defaults to the process
+     *  default at construction). */
+    void setCellLogLevel(sim::LogLevel level) { cellLevel_ = level; }
+
+  private:
+    struct CellState;
+
+    void runCell(CellState &cell);
+
+    unsigned jobs_;
+    sim::LogLevel cellLevel_;
+    std::vector<CellState> cells_;
+};
+
+/**
+ * Parse and strip a leading `--jobs=N` flag from argv.
+ *
+ * @param argc In/out argument count; the flag is removed when found.
+ * @param argv In/out argument vector.
+ * @param fallback Returned when no flag is present: 0 selects
+ *        hardware concurrency (the default for sweep binaries).
+ * @return The requested job count.
+ * @throws sim::FatalError on a malformed value.
+ */
+unsigned parseJobsFlag(int &argc, char **argv, unsigned fallback = 0);
+
+} // namespace wl
+} // namespace k2
+
+#endif // K2_WORKLOADS_SWEEP_H

@@ -3,26 +3,33 @@
  * The `testbed` binary: run a mixed episode scenario on the K2 or
  * baseline system and export observability artifacts.
  *
- *   testbed [--system=k2|linux] [--episodes=N] [--seed=N]
- *           [--metrics=FILE] [--trace=FILE]
+ *   testbed [--system=k2|linux] [--episodes=N] [--runs=N] [--seed=N]
+ *           [--jobs=N] [--metrics=FILE] [--trace=FILE]
  *
  * --metrics writes the final registry snapshot as JSON; --trace writes
  * a Chrome trace_event (catapult) file loadable in chrome://tracing or
  * Perfetto. Both are byte-deterministic for a given flag set. The
  * per-episode report (DSM fault breakdown, per-rail energy split,
  * service activity) prints to stdout either way.
+ *
+ * --runs=N repeats the whole episode chain N times, run r on a fresh
+ * testbed seeded with seed+r; the runs are independent sweep cells and
+ * execute in parallel under --jobs (metrics/trace artifacts always
+ * come from run 0, so they stay byte-identical to a single run).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 #include "sim/random.h"
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
+#include "workloads/sweep.h"
 #include "workloads/testbed.h"
 
 namespace {
@@ -31,6 +38,7 @@ struct Options
 {
     bool k2 = true;
     int episodes = 6;
+    int runs = 1;
     std::uint64_t seed = 42;
     std::string metricsFile;
     std::string traceFile;
@@ -62,6 +70,12 @@ parseArgs(int argc, char **argv, Options &opt)
                 std::fprintf(stderr, "bad episode count '%s'\n", v);
                 return false;
             }
+        } else if (const char *v = value("--runs=")) {
+            opt.runs = std::atoi(v);
+            if (opt.runs <= 0) {
+                std::fprintf(stderr, "bad run count '%s'\n", v);
+                return false;
+            }
         } else if (const char *v = value("--seed=")) {
             opt.seed = std::strtoull(v, nullptr, 10);
         } else if (const char *v = value("--metrics=")) {
@@ -72,7 +86,8 @@ parseArgs(int argc, char **argv, Options &opt)
             std::fprintf(
                 stderr,
                 "usage: testbed [--system=k2|linux] [--episodes=N] "
-                "[--seed=N] [--metrics=FILE] [--trace=FILE]\n");
+                "[--runs=N] [--seed=N] [--jobs=N] [--metrics=FILE] "
+                "[--trace=FILE]\n");
             return false;
         }
     }
@@ -92,21 +107,33 @@ writeFile(const std::string &path, const std::string &content)
     return os.good();
 }
 
-} // namespace
+/** Everything one run (a whole episode chain) produces. */
+struct RunOutput
+{
+    std::string text;        //!< Episode table + per-episode report.
+    std::string metricsJson; //!< Run 0 only, when --metrics is set.
+    std::string traceJson;   //!< Run 0 only, when --trace is set.
+    std::size_t metricsCount = 0;
+    std::size_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
+};
 
-int
-main(int argc, char **argv)
+/**
+ * Run the episode chain on a fresh testbed seeded with seed+run.
+ * Only run 0 exports metrics/trace, so those artifacts are
+ * byte-identical to a single-run invocation regardless of --runs or
+ * --jobs.
+ */
+void
+runChain(const Options &opt, int run, RunOutput &out)
 {
     using namespace k2;
-
-    Options opt;
-    if (!parseArgs(argc, argv, opt))
-        return 2;
 
     wl::Testbed tb =
         opt.k2 ? wl::Testbed::makeK2() : wl::Testbed::makeLinux();
 
-    if (!opt.traceFile.empty()) {
+    const bool exportArtifacts = run == 0;
+    if (exportArtifacts && !opt.traceFile.empty()) {
         // Structured spans plus the text records mirrored onto
         // per-category tracks.
         tb.engine().tracer().enableSpans();
@@ -117,9 +144,7 @@ main(int argc, char **argv)
     tb.registerMetrics(reg);
     const obs::MetricsSnapshot before = reg.snapshot();
 
-    sim::Rng rng(opt.seed);
-    wl::banner(std::string("testbed: ") +
-               (opt.k2 ? "K2" : "baseline Linux"));
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(run));
     wl::Table episodes(
         {"episode", "workload", "run ms", "energy uJ", "MB/J"});
     for (int i = 0; i < opt.episodes; ++i) {
@@ -139,31 +164,78 @@ main(int argc, char **argv)
                          wl::fmt(res.energyUj),
                          wl::fmt(res.mbPerJoule(), 2)});
     }
-    episodes.print();
+    out.text = episodes.render();
 
     const obs::MetricsSnapshot after = reg.snapshot();
     const obs::MetricsSnapshot delta =
         obs::MetricsRegistry::diff(before, after);
 
     const std::string report = wl::episodeReport(delta);
-    if (!report.empty())
-        std::printf("\n%s", report.c_str());
+    if (!report.empty()) {
+        out.text += "\n";
+        out.text += report;
+    }
 
+    if (exportArtifacts && !opt.metricsFile.empty()) {
+        out.metricsJson = after.toJson();
+        out.metricsCount = after.size();
+    }
+    if (exportArtifacts && !opt.traceFile.empty()) {
+        out.traceJson = obs::chromeTraceJson(tb.engine().tracer());
+        out.traceEvents = tb.engine().tracer().spanEvents().size();
+        out.traceDropped = tb.engine().tracer().spansDropped();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace k2;
+
+    const unsigned jobs = wl::parseJobsFlag(argc, argv);
+
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    // Each run is an independent sweep cell on its own testbed.
+    wl::SweepRunner runner(jobs);
+    std::vector<RunOutput> outputs(
+        static_cast<std::size_t>(opt.runs));
+    for (int r = 0; r < opt.runs; ++r) {
+        runner.submit([&opt, &outputs, r]() {
+            runChain(opt, r, outputs[static_cast<std::size_t>(r)]);
+        });
+    }
+    runner.run();
+
+    wl::banner(std::string("testbed: ") +
+               (opt.k2 ? "K2" : "baseline Linux"));
+    for (int r = 0; r < opt.runs; ++r) {
+        if (opt.runs > 1)
+            std::printf("%s-- run %d (seed %llu) --\n\n",
+                        r == 0 ? "" : "\n", r,
+                        static_cast<unsigned long long>(
+                            opt.seed + static_cast<std::uint64_t>(r)));
+        std::fputs(outputs[static_cast<std::size_t>(r)].text.c_str(),
+                   stdout);
+    }
+
+    const RunOutput &first = outputs.front();
     if (!opt.metricsFile.empty()) {
-        if (!writeFile(opt.metricsFile, after.toJson()))
+        if (!writeFile(opt.metricsFile, first.metricsJson))
             return 1;
         std::printf("\nmetrics: %s (%zu metrics)\n",
-                    opt.metricsFile.c_str(), after.size());
+                    opt.metricsFile.c_str(), first.metricsCount);
     }
     if (!opt.traceFile.empty()) {
-        if (!writeFile(opt.traceFile,
-                       obs::chromeTraceJson(tb.engine().tracer())))
+        if (!writeFile(opt.traceFile, first.traceJson))
             return 1;
         std::printf("trace: %s (%zu events, %llu dropped)\n",
-                    opt.traceFile.c_str(),
-                    tb.engine().tracer().spanEvents().size(),
-                    static_cast<unsigned long long>(
-                        tb.engine().tracer().spansDropped()));
+                    opt.traceFile.c_str(), first.traceEvents,
+                    static_cast<unsigned long long>(first.traceDropped));
     }
     return 0;
 }

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * SweepRunner determinism and isolation tests: the same sweep must
+ * produce byte-identical serialized artifacts at any thread count,
+ * including an adversarial worker count that does not divide the cell
+ * count; captured logs replay in submission order; failures surface
+ * by lowest submission index.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "workloads/benchmarks.h"
+#include "workloads/sweep.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace k2;
+
+/**
+ * Run a miniature fig6-style sweep (alternating K2/Linux cells over
+ * three DMA batch sizes) at the given job count and serialize every
+ * artifact a real bench would emit: the numeric episode results and a
+ * full metrics-registry JSON snapshot per cell.
+ */
+std::string
+runSweepArtifact(unsigned jobs)
+{
+    const std::uint64_t batches[] = {4096, 8192, 16384};
+    constexpr std::size_t kCells = 2 * std::size(batches);
+
+    wl::SweepRunner runner(jobs);
+    std::vector<wl::EpisodeResult> results(kCells);
+    std::vector<std::string> metrics(kCells);
+    for (std::size_t i = 0; i < std::size(batches); ++i) {
+        const std::uint64_t batch = batches[i];
+        runner.submit([&results, &metrics, i, batch]() {
+            auto tb = wl::Testbed::makeK2();
+            obs::MetricsRegistry reg;
+            tb.registerMetrics(reg);
+            results[2 * i] =
+                wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
+                                   wl::dmaCopy(tb.dma(), batch,
+                                               16 * batch));
+            metrics[2 * i] = reg.snapshot().toJson();
+        });
+        runner.submit([&results, &metrics, i, batch]() {
+            auto tb = wl::Testbed::makeLinux();
+            obs::MetricsRegistry reg;
+            tb.registerMetrics(reg);
+            results[2 * i + 1] =
+                wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
+                                   wl::dmaCopy(tb.dma(), batch,
+                                               16 * batch));
+            metrics[2 * i + 1] = reg.snapshot().toJson();
+        });
+    }
+    runner.run();
+
+    std::string artifact;
+    for (std::size_t i = 0; i < kCells; ++i) {
+        artifact += sim::strPrintf(
+            "cell %zu: energy=%.17g run=%llu episode=%llu bytes=%llu\n",
+            i, results[i].energyUj,
+            static_cast<unsigned long long>(results[i].runTime),
+            static_cast<unsigned long long>(results[i].episodeTime),
+            static_cast<unsigned long long>(results[i].bytes));
+        artifact += metrics[i];
+        artifact += '\n';
+    }
+    return artifact;
+}
+
+TEST(SweepRunner, ByteIdenticalArtifactsAtAnyThreadCount)
+{
+    const std::string serial = runSweepArtifact(1);
+    ASSERT_FALSE(serial.empty());
+    // Sanity: the serial artifact contains real simulation output.
+    EXPECT_NE(serial.find("\"kern.main.buddy.alloc_calls\""),
+              std::string::npos);
+
+    EXPECT_EQ(serial, runSweepArtifact(4));
+    // Adversarial: more workers than cells, and a count that divides
+    // nothing.
+    EXPECT_EQ(serial, runSweepArtifact(13));
+}
+
+TEST(SweepRunner, ReplaysCapturedLogsInSubmissionOrder)
+{
+    std::string out;
+    std::string err;
+    {
+        // The runner replays through the caller's scope, so the test
+        // captures exactly the bytes a real invocation would print.
+        sim::ScopedLogConfig capture(sim::LogLevel::Normal, &out, &err);
+        wl::SweepRunner runner(4);
+        for (int i = 0; i < 8; ++i) {
+            runner.submit([i]() {
+                sim::informImpl("cell %d line a", i);
+                sim::warnImpl("cell %d", i);
+                sim::informImpl("cell %d line b", i);
+            });
+        }
+        runner.run();
+    }
+    std::string want_out;
+    std::string want_err;
+    for (int i = 0; i < 8; ++i) {
+        want_out += sim::strPrintf("info: cell %d line a\n", i);
+        want_out += sim::strPrintf("info: cell %d line b\n", i);
+        want_err += sim::strPrintf("warn: cell %d\n", i);
+    }
+    EXPECT_EQ(out, want_out);
+    EXPECT_EQ(err, want_err);
+}
+
+TEST(SweepRunner, CellLogLevelAppliesToEveryCell)
+{
+    std::string out;
+    std::string err;
+    {
+        sim::ScopedLogConfig capture(sim::LogLevel::Normal, &out, &err);
+        wl::SweepRunner runner(4);
+        runner.setCellLogLevel(sim::LogLevel::Quiet);
+        for (int i = 0; i < 6; ++i) {
+            runner.submit([]() {
+                sim::informImpl("should be suppressed");
+                sim::warnImpl("should be suppressed");
+            });
+        }
+        runner.run();
+    }
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(SweepRunner, RethrowsFirstFailureBySubmissionIndex)
+{
+    std::string err;
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet, nullptr, &err);
+    wl::SweepRunner runner(4);
+    runner.submit([]() {});
+    runner.submit([]() { K2_FATAL("first failure"); });
+    runner.submit([]() { K2_FATAL("second failure"); });
+    runner.submit([]() {});
+    try {
+        runner.run();
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("first failure"),
+                  std::string::npos);
+    }
+    // The runner drains and is reusable after a failure.
+    EXPECT_EQ(runner.size(), 0u);
+    bool ran = false;
+    runner.submit([&ran]() { ran = true; });
+    runner.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(SweepRunner, TwoConcurrentEnginesAtDifferentLogLevels)
+{
+    // Regression for the old process-global log level: two engines on
+    // different threads, one Quiet and one Verbose, must neither share
+    // the knob nor interleave output.
+    std::string quiet_out, quiet_err, loud_out, loud_err;
+    auto episode = [](sim::LogLevel level, std::string *out,
+                      std::string *err) {
+        sim::ScopedLogConfig scope(level, out, err);
+        auto tb = wl::Testbed::makeK2();
+        wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
+                           wl::dmaCopy(tb.dma(), 4096, 65536));
+        sim::warnImpl("%s marker",
+                      level == sim::LogLevel::Quiet ? "quiet" : "loud");
+    };
+    std::thread a(episode, sim::LogLevel::Quiet, &quiet_out, &quiet_err);
+    std::thread b(episode, sim::LogLevel::Verbose, &loud_out, &loud_err);
+    a.join();
+    b.join();
+    EXPECT_TRUE(quiet_out.empty());
+    EXPECT_TRUE(quiet_err.empty());
+    EXPECT_NE(loud_err.find("warn: loud marker\n"), std::string::npos);
+    EXPECT_EQ(loud_err.find("quiet"), std::string::npos);
+    // The process default is untouched by either thread.
+    EXPECT_EQ(sim::logLevel(), sim::LogLevel::Normal);
+}
+
+TEST(ParseJobsFlag, ParsesAndStripsTheFlag)
+{
+    std::vector<std::string> storage = {"bench", "--seed=7", "--jobs=12",
+                                        "--trace=t.json"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+
+    EXPECT_EQ(wl::parseJobsFlag(argc, argv.data()), 12u);
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "bench");
+    EXPECT_STREQ(argv[1], "--seed=7");
+    EXPECT_STREQ(argv[2], "--trace=t.json");
+}
+
+TEST(ParseJobsFlag, FallbackWhenAbsent)
+{
+    std::vector<std::string> storage = {"bench"};
+    std::vector<char *> argv = {storage[0].data()};
+    int argc = 1;
+    EXPECT_EQ(wl::parseJobsFlag(argc, argv.data(), 3), 3u);
+    EXPECT_EQ(argc, 1);
+}
+
+TEST(ParseJobsFlag, RejectsMalformedValues)
+{
+    std::string err;
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet, nullptr, &err);
+    for (const char *bad : {"--jobs=", "--jobs=0", "--jobs=nope",
+                            "--jobs=12x", "--jobs=99999"}) {
+        std::vector<std::string> storage = {"bench", bad};
+        std::vector<char *> argv = {storage[0].data(),
+                                    storage[1].data()};
+        int argc = 2;
+        EXPECT_THROW(wl::parseJobsFlag(argc, argv.data()),
+                     sim::FatalError)
+            << bad;
+    }
+}
+
+TEST(SweepRunner, DefaultJobsUsesHardwareConcurrency)
+{
+    wl::SweepRunner def;
+    EXPECT_GE(def.jobs(), 1u);
+    wl::SweepRunner one(1);
+    EXPECT_EQ(one.jobs(), 1u);
+}
+
+} // namespace
