@@ -25,6 +25,9 @@
 #include "sim/sync.h"
 #include "soc/mmu.h"
 #include "kern/buddy.h"
+#include "kern/kernel.h"
+#include "os/messages.h"
+#include "os/reliable_mail.h"
 
 // ---------------------------------------------------------------------
 // Allocation-counting hook: replaces the global allocation functions
@@ -291,6 +294,60 @@ BM_BuddyReclaimDonate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BuddyReclaimDonate);
+
+/**
+ * Host-side cost of one ARQ round trip on the recovery plane: a
+ * tracked send through the reliable-mail shim (stamp, inflight entry,
+ * retransmit timer), hardware mailbox delivery, the receiver's ISR and
+ * ack mail, and the sender's ack handling / timer cancellation --
+ * including the full event drain back to quiescence.
+ */
+void
+BM_ReliableMailRoundtrip(benchmark::State &state)
+{
+    sim::Engine eng;
+    soc::SocConfig cfg = soc::omap4Config();
+    cfg.costs.inactiveTimeout = 0;
+    soc::Soc soc(eng, cfg);
+    kern::Kernel main_k(soc, soc::kStrongDomain, "main");
+    kern::Kernel shadow_k(soc, soc::kWeakDomain, "shadow");
+    main_k.boot();
+    shadow_k.boot();
+
+    os::ReliableMail mail({&main_k, &shadow_k}, {});
+    mail.install();
+    std::uint64_t delivered = 0;
+    const auto attach = [&mail, &delivered](kern::Kernel &k,
+                                            os::KernelIdx idx) {
+        k.setMailHandler(
+            [&mail, &delivered, idx](soc::Mail m, soc::Core &core)
+                -> sim::Task<void> {
+                if (co_await mail.onReceive(idx, m, core))
+                    ++delivered;
+            });
+    };
+    attach(main_k, 0);
+    attach(shadow_k, 1);
+
+    const std::uint32_t word =
+        os::encodeMessage(os::MsgType::GetExclusive, 42, 0);
+    main_k.sendMail(soc::kWeakDomain, word);
+    eng.run();
+    for (auto _ : state) {
+        main_k.sendMail(soc::kWeakDomain, word);
+        eng.run();
+    }
+    if (delivered != state.iterations() + 1) {
+        std::fprintf(stderr,
+                     "FATAL: reliable mail delivered %llu of %llu\n",
+                     static_cast<unsigned long long>(delivered),
+                     static_cast<unsigned long long>(
+                         state.iterations() + 1));
+        std::abort();
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_ReliableMailRoundtrip);
 
 void
 BM_TlbLookup(benchmark::State &state)

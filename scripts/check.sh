@@ -43,6 +43,10 @@ if [ "$MODE" = "--tsan" ]; then
     "$BUILD_DIR"/bench/fig6a_dma_energy --jobs=13 >/dev/null
     "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
         >/dev/null
+    # The fault plane's injector/recovery state is per-cell; shard a
+    # faulty sweep across threads to race-check it too.
+    "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
+        --faults="mailbox.drop:p=0.2,mailbox.dup:p=0.1" >/dev/null
     echo "tsan: parallel sweep tests OK"
     exit 0
 fi
@@ -59,3 +63,30 @@ mkdir -p "$OBS_DIR"
 python3 -m json.tool "$OBS_DIR/metrics.json" >/dev/null
 python3 -m json.tool "$OBS_DIR/trace.json" >/dev/null
 echo "observability smoke: metrics + trace JSON OK"
+
+# Fault-injection smoke: the same scenario under a lossy mailbox must
+# still complete, with the ARQ shim actually recovering dropped mail
+# (retransmits > 0, no giveups). Both runs are deterministic, so these
+# assertions are exact, not flaky.
+"$BUILD_DIR"/src/workloads/testbed --episodes=6 \
+    --faults="mailbox.drop:p=0.2,mailbox.dup:p=0.1" \
+    --metrics="$OBS_DIR/metrics_faults.json" >/dev/null
+python3 - "$OBS_DIR/metrics_faults.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+v = lambda k: m[k]["value"]
+assert v("fault.injected.mailbox.drop") > 0, "no drops injected"
+assert v("os.recovery.mail.retransmits") > 0, "ARQ never retransmitted"
+assert v("os.recovery.mail.duplicates_dropped") > 0, "dup not suppressed"
+assert v("os.recovery.mail.giveups") == 0, "ARQ gave up on a mail"
+EOF
+# Zero-fault guard: without --faults no fault/recovery metric may even
+# exist in the snapshot (the plane must be fully disarmed).
+python3 - "$OBS_DIR/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+bad = [k for k in m
+       if k.startswith("fault.") or k.startswith("os.recovery")]
+assert not bad, f"fault plane armed without --faults: {bad}"
+EOF
+echo "fault smoke: injection + ARQ recovery + disarmed guard OK"

@@ -36,8 +36,8 @@ supports_jobs() {
     case "$(basename "$1")" in
         fig6a_dma_energy|fig6b_ext2_energy|fig6b_sd_variant| \
         fig6c_udp_energy|table6_dma_concurrent|ablation_arch_features| \
-        ablation_dsm_protocol|ablation_shared_allocator| \
-        extension_ndomain) return 0 ;;
+        ablation_dsm_protocol|ablation_fault_tolerance| \
+        ablation_shared_allocator|extension_ndomain) return 0 ;;
         *) return 1 ;;
     esac
 }

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Declarative fault schedules for the deterministic fault-injection
+ * plane (k2::fault).
+ *
+ * A FaultPlan is a list of FaultSpec clauses plus a PRNG seed. Each
+ * clause names a fault kind (a hook point in the simulated SoC), an
+ * optional target filter, and either a per-opportunity probability or
+ * a one-shot onset time. The plan is pure data: it can be built
+ * programmatically, parsed from a `--faults=SPEC` string, and copied
+ * into every sweep cell so parallel runs stay byte-identical.
+ *
+ * Determinism rules (DESIGN.md §9): all probabilistic fault decisions
+ * draw from one dedicated sim::Rng stream seeded from the plan --
+ * never from a workload's RNG -- and a hook only draws when at least
+ * one clause of its kind matches the opportunity. An empty plan makes
+ * every hook a constant-false check with no draws, no scheduled
+ * events, and therefore a bit-identical simulation.
+ */
+
+#ifndef K2_FAULT_PLAN_H
+#define K2_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace k2 {
+namespace fault {
+
+/** Fault kinds, one per hook point in the simulated SoC. */
+enum class FaultKind : std::uint8_t
+{
+    MailDrop,         //!< Mailbox: mail vanishes in transit.
+    MailDuplicate,    //!< Mailbox: mail delivered twice.
+    MailBitFlip,      //!< Mailbox: payload corrupted in transit (the
+                      //!< modelled link ECC detects and discards it).
+    DmaTransferError, //!< DMA: transfer completes with error status.
+    DmaIrqLoss,       //!< DMA: completion IRQ pulse lost (status still
+                      //!< latched, pollable).
+    IrqLost,          //!< Interrupt controller: raised line lost.
+    IrqSpurious,      //!< Interrupt controller: line fires with no
+                      //!< device activity behind it.
+    DomainStall,      //!< Domain unresponsive for a bounded window.
+    DomainCrash,      //!< Domain crashes: drops all mail/IRQ traffic
+                      //!< until software revives it.
+};
+
+inline constexpr std::size_t kNumFaultKinds = 9;
+
+/** Human-readable dotted name ("mailbox.drop"), also the parse name. */
+const char *faultKindName(FaultKind kind);
+
+/** Wildcard target filters. @{ */
+inline constexpr std::uint32_t kAnyDomain = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kAnyLine = 0xFFFFFFFFu;
+/** @} */
+
+/**
+ * One fault clause.
+ *
+ * Two trigger modes:
+ *  - probabilistic (`p > 0`): each matching opportunity after @ref at
+ *    fires with probability p (one PRNG draw per opportunity);
+ *  - one-shot (`p == 0`): the first matching opportunity at or after
+ *    @ref at fires, once. DomainStall / DomainCrash / IrqSpurious are
+ *    one-shot only (they are scheduled conditions, not opportunities).
+ *
+ * Once triggered, the clause also fires on the next `burst - 1`
+ * opportunities of its kind (deterministically, no draws).
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::MailDrop;
+    std::uint32_t domain = kAnyDomain; //!< Target domain filter.
+    std::uint32_t line = kAnyLine;     //!< IRQ line filter.
+    double p = 0.0;                    //!< Per-opportunity probability.
+    sim::Time at = 0;                  //!< Onset time.
+    std::uint32_t burst = 1;           //!< Opportunities per trigger.
+    sim::Duration len = sim::msec(5);  //!< Stall window length.
+};
+
+class FaultPlan
+{
+  public:
+    /** Seed of the dedicated fault-decision PRNG stream. */
+    std::uint64_t seed = 0xFA017C0DEull;
+
+    void add(FaultSpec spec) { specs_.push_back(spec); }
+
+    bool empty() const { return specs_.empty(); }
+    const std::vector<FaultSpec> &specs() const { return specs_; }
+
+    /**
+     * Parse a `--faults=` spec string, e.g.
+     *
+     *   mailbox.drop:p=1e-3,dma.err:at=2s
+     *   domain.crash:at=40ms,mailbox.dup:p=1e-4:burst=2
+     *
+     * Clauses are separated by ',' or ':'; a token matching a fault
+     * kind name opens a new clause, a `key=value` token parameterises
+     * the current one. Keys: p, at, burst, len, dom, line, and the
+     * plan-level seed. Durations take ns/us/ms/s suffixes (bare
+     * numbers are seconds).
+     *
+     * @throws sim::FatalError on malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** One-line rendering for banners ("mailbox.drop(p=0.001) ..."). */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultSpec> specs_;
+};
+
+/** Parse "2s" / "10ms" / "500us" / "250ns" (bare number = seconds). */
+sim::Duration parseDuration(const std::string &text);
+
+} // namespace fault
+} // namespace k2
+
+#endif // K2_FAULT_PLAN_H

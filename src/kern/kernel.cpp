@@ -29,9 +29,8 @@ Kernel::boot()
     K2_ASSERT(!booted_);
     booted_ = true;
     sched_->start();
-    domain().irqCtrl().registerHandler(
-        soc::kIrqMailbox,
-        [this](soc::Core &core) { return mailboxIsr(core); });
+    registerIrq(soc::kIrqMailbox,
+                [this](soc::Core &core) { return mailboxIsr(core); });
 }
 
 sim::Task<void>
@@ -50,6 +49,15 @@ Kernel::mailboxIsr(soc::Core &core)
 
 void
 Kernel::sendMail(soc::DomainId to, std::uint32_t word)
+{
+    if (transport_)
+        transport_(to, word);
+    else
+        soc_.mailbox().send(domainId_, to, word);
+}
+
+void
+Kernel::sendMailRaw(soc::DomainId to, std::uint32_t word)
 {
     soc_.mailbox().send(domainId_, to, word);
 }
@@ -72,7 +80,17 @@ Kernel::spawnThread(Process *proc, std::string name, ThreadKind kind,
 void
 Kernel::registerIrq(soc::IrqLine line, soc::IrqHandler handler)
 {
+    irqLog_.emplace_back(line, handler);
     domain().irqCtrl().registerHandler(line, std::move(handler));
+}
+
+std::size_t
+Kernel::replayIrqRegistrations()
+{
+    auto &ctrl = domain().irqCtrl();
+    for (const auto &[line, handler] : irqLog_)
+        ctrl.registerHandler(line, handler);
+    return irqLog_.size();
 }
 
 sim::Duration

@@ -77,11 +77,33 @@ class Kernel
     /** Register an interrupt handler on this domain's controller. */
     void registerIrq(soc::IrqLine line, soc::IrqHandler handler);
 
+    /**
+     * Re-register every IRQ handler this kernel ever registered
+     * (including the boot-time mailbox ISR), in original order.
+     * Recovery calls this after resetting a crashed domain's
+     * controller to replay the kernel's device setup.
+     *
+     * @return Number of lines re-registered.
+     */
+    std::size_t replayIrqRegistrations();
+
     /** Install the handler for incoming hardware mails. */
     void setMailHandler(MailHandler h) { mailHandler_ = std::move(h); }
 
     /** Post a mail to another domain's kernel. */
     void sendMail(soc::DomainId to, std::uint32_t word);
+
+    /**
+     * Interpose on outgoing mail (the reliable-mail shim). When set,
+     * sendMail hands (to, word) to the transport instead of posting to
+     * the mailbox directly.
+     */
+    using MailTransport =
+        std::function<void(soc::DomainId, std::uint32_t)>;
+    void setMailTransport(MailTransport t) { transport_ = std::move(t); }
+
+    /** Post a mail bypassing any installed transport. */
+    void sendMailRaw(soc::DomainId to, std::uint32_t word);
 
     /**
      * Time for this kernel's cores to run @p work units of kernel
@@ -133,7 +155,10 @@ class Kernel
     std::unique_ptr<BuddyAllocator> buddy_;
     std::vector<std::unique_ptr<Thread>> threads_;
     MailHandler mailHandler_;
+    MailTransport transport_;
     PressureProbe probe_;
+    /** Every (line, handler) registered, for crash-recovery replay. */
+    std::vector<std::pair<soc::IrqLine, soc::IrqHandler>> irqLog_;
     bool booted_ = false;
 };
 

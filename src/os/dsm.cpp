@@ -174,10 +174,45 @@ Dsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
                           packSeq(seq, rw)));
 
         // Spin (synchronously -- the faulting context may be an
-        // interrupt handler) until the grant arrives.
+        // interrupt handler) until the grant arrives. With a retry
+        // policy, re-send the Get when the grant times out: the
+        // request or its grant may have been lost, or the peer may be
+        // down until the watchdog revives it.
         pi.grant->reset();
+        pi.grantArrived[k] = false;
         core.pinActive();
-        co_await pi.grant->wait();
+        if (retry_.timeout == 0) {
+            co_await pi.grant->wait();
+        } else {
+            sim::Duration rto = retry_.timeout;
+            while (!pi.grantArrived[k]) {
+                bool timer_fired = false;
+                sim::Event *grant = pi.grant.get();
+                sim::EventId timer = soc_.engine().after(
+                    rto, [grant, &timer_fired]() {
+                        timer_fired = true;
+                        grant->pulse();
+                    });
+                co_await pi.grant->wait();
+                soc_.engine().cancel(timer);
+                if (pi.grantArrived[k])
+                    break;
+                if (!timer_fired)
+                    continue; // Woken by an unrelated pulse; re-wait.
+                retries_.inc();
+                messages_.inc();
+                K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                         "%s retries Get for page %llu",
+                         kernels_[k]->name().c_str(),
+                         static_cast<unsigned long long>(page));
+                kernels_[k]->sendMail(
+                    kernels_[1 - k]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  page & kPayloadMask,
+                                  packSeq(seq_++, rw)));
+                rto = std::min(rto * 2, retry_.maxTimeout);
+            }
+        }
         core.unpinActive();
         const sim::Time t3 = soc_.engine().now();
 
@@ -294,12 +329,41 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
                       packSeq(seq_++, rw)));
 }
 
+std::uint64_t
+Dsm::reclaimAll(KernelIdx owner)
+{
+    K2_ASSERT(owner < 2);
+    const KernelIdx peer = 1 - owner;
+    std::uint64_t reclaimed = 0;
+    for (auto &[page, pi] : pages_) {
+        (void)page;
+        if (pi->state[owner] != PState::Exclusive ||
+            pi->state[peer] != PState::Invalid)
+            ++reclaimed;
+        pi->state[owner] = PState::Exclusive;
+        pi->state[peer] = PState::Invalid;
+        // A fault of the surviving kernel waiting on a grant from the
+        // dead peer now owns the page; complete it locally. Peer-side
+        // faults (if its domain is later revived) keep retrying and
+        // are serviced normally.
+        if (pi->outstanding[owner] && !pi->grantArrived[owner]) {
+            pi->grantArrived[owner] = true;
+            pi->grant->pulse();
+        }
+    }
+    return reclaimed;
+}
+
 void
 Dsm::registerMetrics(obs::MetricsRegistry &reg,
                      const std::string &prefix) const
 {
     reg.addCounter(prefix + ".messages", messages_);
     reg.addCounter(prefix + ".demotions", demotions_);
+    // Only present when the recovery layer enabled retries, so
+    // zero-fault metric snapshots keep their exact key set.
+    if (retry_.timeout != 0)
+        reg.addCounter(prefix + ".retries", retries_);
     for (KernelIdx k = 0; k < 2; ++k) {
         const std::string kp = prefix + "." + kernels_[k]->name();
         const FaultStats &st = stats_[k];
@@ -336,7 +400,9 @@ Dsm::handleMail(KernelIdx to_kernel, Message msg, soc::Core &core)
       case MsgType::PutExclusive: {
         // Grant: wake the spinning requester.
         co_await core.execTime(soc_.costs().busAccess);
-        info(page).grant->pulse();
+        PageInfo &pi = info(page);
+        pi.grantArrived[to_kernel] = true;
+        pi.grant->pulse();
         co_return;
       }
       default:

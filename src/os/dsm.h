@@ -77,6 +77,22 @@ class Dsm
         sim::Duration mainLoadedDefer = sim::usec(30);
     };
 
+    /**
+     * Fault-timeout retry (recovery layer). Off by default
+     * (timeout == 0): the faulting kernel spins on the grant forever,
+     * exactly the pre-fault-plane behaviour. When enabled, a faulter
+     * whose grant does not arrive within the timeout re-sends its
+     * GetExclusive with a fresh sequence number, backing off
+     * exponentially up to maxTimeout. Attempts are unbounded: the
+     * faulter must survive a crashed peer until the watchdog revives
+     * it (or re-owns the page under it).
+     */
+    struct RetryPolicy
+    {
+        sim::Duration timeout = 0;
+        sim::Duration maxTimeout = sim::msec(4);
+    };
+
     /** Per-sender fault statistics (the Table 5 breakdown). */
     struct FaultStats
     {
@@ -101,6 +117,22 @@ class Dsm
         std::uint64_t num_pages, Protocol protocol, CostModel costs);
 
     Protocol protocol() const { return protocol_; }
+
+    /** Enable/disable the fault-timeout retry (see RetryPolicy). */
+    void setRetryPolicy(RetryPolicy p) { retry_ = p; }
+
+    /** Grant-timeout retries sent so far. */
+    std::uint64_t retries() const { return retries_.value(); }
+
+    /**
+     * Crash recovery: make @p owner the exclusive owner of every DSM
+     * page, invalidating the (dead) peer's copies. Faults of @p owner
+     * left waiting on a grant from the dead peer are completed
+     * locally.
+     *
+     * @return Number of pages whose ownership state changed.
+     */
+    std::uint64_t reclaimAll(KernelIdx owner);
 
     /** Reserve a range of DSM page keys for a shared region. */
     kern::PageRange allocRegion(std::uint64_t pages);
@@ -168,6 +200,8 @@ class Dsm
         std::array<bool, 2> outstanding{false, false};
         std::array<bool, 2> upgrade{false, false}; //!< MSI upgrade race.
         std::array<bool, 2> raced{false, false};   //!< Lost an upgrade.
+        /** Grant really arrived (vs a retry-timer pulse). */
+        std::array<bool, 2> grantArrived{false, false};
         std::unique_ptr<sim::Event> grant;   //!< Pulsed on PutExclusive.
         std::unique_ptr<sim::Event> settled; //!< Pulsed when a local
                                              //!< fault fully completes.
@@ -198,6 +232,8 @@ class Dsm
     std::array<sim::TrackId, 2> tracks_{}; //!< Per-kernel span tracks.
     sim::Counter messages_;
     sim::Counter demotions_;
+    sim::Counter retries_;
+    RetryPolicy retry_{};
     std::uint32_t seq_ = 0;
 };
 

@@ -52,7 +52,30 @@ IrqRouter::applyRouting(bool to_weak)
 void
 IrqRouter::onStrongStateChange()
 {
+    if (degraded_)
+        return; // Routing pinned to the strong domain.
     applyRouting(main_.domain().allInactive());
+}
+
+void
+IrqRouter::setDegraded(bool degraded)
+{
+    if (degraded == degraded_)
+        return;
+    degraded_ = degraded;
+    if (degraded)
+        applyRouting(false);
+    else
+        applyRouting(main_.domain().allInactive());
+}
+
+void
+IrqRouter::reapplyMasks()
+{
+    for (const auto line : lines_) {
+        main_.domain().irqCtrl().setMasked(line, routedToWeak_);
+        shadow_.domain().irqCtrl().setMasked(line, !routedToWeak_);
+    }
 }
 
 void

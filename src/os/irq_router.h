@@ -49,6 +49,24 @@ class IrqRouter
     /** Times routing flipped strong->weak or back. */
     std::uint64_t reroutes() const { return reroutes_.value(); }
 
+    /**
+     * Degraded mode (shadow kernel down): pin all shared interrupts to
+     * the strong domain regardless of its power state -- energy rule 1
+     * is suspended while there is no shadow to serve them. Turning
+     * degradation off resumes power-state-driven routing.
+     */
+    void setDegraded(bool degraded);
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Force the per-line masks that realise the current routing.
+     * Needed after a shadow-kernel restart: replaying its IRQ
+     * registrations unmasked every line on the rebuilt controller, and
+     * applyRouting() short-circuits when the routing target is
+     * unchanged.
+     */
+    void reapplyMasks();
+
   private:
     void applyRouting(bool to_weak);
     void onStrongStateChange();
@@ -59,6 +77,7 @@ class IrqRouter
     std::vector<soc::IrqLine> lines_;
     bool routedToWeak_ = false;
     bool installed_ = false;
+    bool degraded_ = false;
     sim::Counter reroutes_;
 };
 

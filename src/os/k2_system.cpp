@@ -1,5 +1,6 @@
 #include "os/k2_system.h"
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "sim/log.h"
 
@@ -37,6 +38,22 @@ K2System::K2System(K2Config cfg)
 {
     soc_ = std::make_unique<soc::Soc>(engine_, cfg_.soc);
 
+    // The fault plane and the recovery protocols only exist when armed;
+    // a zero-fault run takes exactly the pre-fault code paths.
+    const bool armed = !cfg_.faults.empty() || cfg_.recovery.force;
+    for (const fault::FaultSpec &spec : cfg_.faults.specs()) {
+        if (spec.kind == fault::FaultKind::DomainCrash &&
+            spec.domain == soc::kStrongDomain) {
+            K2_FATAL("K2 cannot recover a crashed strong domain; "
+                     "domain.crash must target a weak domain");
+        }
+    }
+    if (armed) {
+        injector_ =
+            std::make_unique<fault::FaultInjector>(engine_, cfg_.faults);
+        soc_->attachFaultInjector(injector_.get());
+    }
+
     layout_ = std::make_unique<kern::AddressSpaceLayout>(
         soc_->pageBytes(), soc_->numPages(),
         std::vector<std::pair<std::string, std::uint64_t>>{
@@ -50,9 +67,20 @@ K2System::K2System(K2Config cfg)
     main_->boot();
     shadow_->boot();
 
+    if (armed) {
+        reliable_ = std::make_unique<ReliableMail>(
+            std::vector<kern::Kernel *>{main_.get(), shadow_.get()},
+            cfg_.recovery.mail);
+        reliable_->install();
+    }
+
     dsm_ = std::make_unique<Dsm>(
         *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
         cfg_.dsmPages, cfg_.dsmProtocol, cfg_.dsmCosts);
+    if (armed) {
+        dsm_->setRetryPolicy({cfg_.recovery.dsmRetryTimeout,
+                              cfg_.recovery.dsmRetryMax});
+    }
 
     meta_ = std::make_unique<MetaLevelManager>(
         *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
@@ -66,6 +94,22 @@ K2System::K2System(K2Config cfg)
 
     irqRouter_ = std::make_unique<IrqRouter>(*soc_, *main_, *shadow_);
     irqRouter_->install();
+
+    if (armed) {
+        watchdog_ = std::make_unique<Watchdog>(
+            *soc_, *main_, *shadow_, *dsm_, *irqRouter_, injector_.get(),
+            cfg_.recovery.watchdog);
+        // Repeated retransmission without an ack on any channel is the
+        // watchdog's crash-suspicion signal. Shadow->main silence also
+        // counts: in the simulation a crashed domain's threads keep
+        // executing (the crash is fail-silent at the communication
+        // boundary), and their failing sends stand in for the keepalive
+        // a real main kernel would run -- the probe loop then verifies
+        // and charges the actual detection work.
+        reliable_->setSuspectHook([this](KernelIdx, KernelIdx) {
+            watchdog_->suspect();
+        });
+    }
 
     crossIsa_ = std::make_unique<CrossIsaDispatcher>(*shadow_);
 
@@ -122,6 +166,12 @@ kern::Thread *
 K2System::spawnNightWatch(kern::Process &proc, std::string name,
                           kern::Thread::Body body)
 {
+    if (watchdog_ && watchdog_->shadowDown()) {
+        // Graceful degradation: with the shadow kernel down, serve the
+        // spawn on the main kernel at main-domain energy cost.
+        watchdog_->noteDegradedSpawn();
+        return spawnNormal(proc, std::move(name), std::move(body));
+    }
     return nightWatch_->spawn(proc, std::move(name), std::move(body));
 }
 
@@ -244,11 +294,22 @@ K2System::registerMetrics(obs::MetricsRegistry &reg)
         return static_cast<double>(xisa.dispatches());
     });
     reg.addCounter("os.remote_frees", remoteFrees_);
+
+    // Only when armed, so zero-fault runs keep the exact metric key
+    // set they had before the fault plane existed.
+    if (injector_)
+        injector_->registerMetrics(reg, "fault.injected");
+    if (reliable_)
+        reliable_->registerMetrics(reg, "os.recovery.mail");
+    if (watchdog_)
+        watchdog_->registerMetrics(reg, "os.recovery");
 }
 
 sim::Task<void>
 K2System::dispatchMail(KernelIdx to, soc::Mail mail, soc::Core &core)
 {
+    if (reliable_ && !co_await reliable_->onReceive(to, mail, core))
+        co_return; // Consumed ack or suppressed duplicate.
     const Message msg = decodeMessage(mail.word);
     switch (msg.type) {
       case MsgType::GetExclusive:
@@ -268,6 +329,13 @@ K2System::dispatchMail(KernelIdx to, soc::Mail mail, soc::Core &core)
           case CtlOp::MapCreate:
           case CtlOp::MapDestroy:
             co_await ioMapper_->handleMail(to, msg, core);
+            co_return;
+          case CtlOp::MailAck:
+            co_return; // Handled by the reliable-mail shim above.
+          case CtlOp::Heartbeat:
+          case CtlOp::HeartbeatAck:
+            K2_ASSERT(watchdog_);
+            co_await watchdog_->handleMail(to, msg, core);
             co_return;
         }
         K2_PANIC("unknown control op in mail 0x%x", mail.word);

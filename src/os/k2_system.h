@@ -24,6 +24,7 @@
 #include <ostream>
 
 #include "sim/engine.h"
+#include "fault/plan.h"
 #include "kern/layout.h"
 #include "kern/service.h"
 #include "os/cross_isa.h"
@@ -32,9 +33,16 @@
 #include "os/irq_router.h"
 #include "os/meta_manager.h"
 #include "os/nightwatch.h"
+#include "os/reliable_mail.h"
 #include "os/system.h"
+#include "os/watchdog.h"
 
 namespace k2 {
+
+namespace fault {
+class FaultInjector;
+}
+
 namespace os {
 
 struct K2Config
@@ -51,6 +59,27 @@ struct K2Config
     std::uint64_t shadowLocalPages = 4096;  //!< 16 MB.
     std::uint64_t mainLocalPages = 12288;   //!< 48 MB.
     MetaLevelManager::Config meta{};
+    /**
+     * Fault-injection schedule. An empty plan leaves the fault plane
+     * and the recovery protocols entirely disarmed: no hooks, no extra
+     * tracks or metrics -- the simulation is bit-identical to a build
+     * without them.
+     */
+    fault::FaultPlan faults{};
+    struct RecoveryConfig
+    {
+        /** Arm the recovery protocols even with an empty fault plan
+         *  (for unit tests and overhead measurements). */
+        bool force = false;
+        ReliableMail::Config mail{};
+        /** DSM grant-retry timeout; must exceed the loaded fault
+         *  round-trip including the peer core's wake latency
+         *  (~250 us worst case). */
+        sim::Duration dsmRetryTimeout = sim::usec(500);
+        sim::Duration dsmRetryMax = sim::msec(4);
+        Watchdog::Config watchdog{};
+    };
+    RecoveryConfig recovery{};
 };
 
 class K2System : public SystemImage
@@ -95,6 +124,13 @@ class K2System : public SystemImage
     const kern::ServiceRegistry &services() const { return services_; }
     /** @} */
 
+    /** @name Fault plane & recovery (null unless armed). @{ */
+    bool recoveryArmed() const { return reliable_ != nullptr; }
+    fault::FaultInjector *faultInjector() { return injector_.get(); }
+    ReliableMail *reliableMail() { return reliable_.get(); }
+    Watchdog *watchdog() { return watchdog_.get(); }
+    /** @} */
+
     /** Frees redirected to the peer kernel so far. */
     std::uint64_t remoteFrees() const { return remoteFrees_.value(); }
 
@@ -111,6 +147,7 @@ class K2System : public SystemImage
 
     K2Config cfg_;
     sim::Engine engine_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<soc::Soc> soc_;
     std::unique_ptr<kern::AddressSpaceLayout> layout_;
     std::unique_ptr<kern::Kernel> main_;
@@ -121,6 +158,8 @@ class K2System : public SystemImage
     std::unique_ptr<IrqRouter> irqRouter_;
     std::unique_ptr<CrossIsaDispatcher> crossIsa_;
     std::unique_ptr<IoMapper> ioMapper_;
+    std::unique_ptr<ReliableMail> reliable_;
+    std::unique_ptr<Watchdog> watchdog_;
     kern::ServiceRegistry services_;
     sim::Counter remoteFrees_;
 };

@@ -40,9 +40,12 @@ enum class MsgType : std::uint32_t
 /** Subtypes of MsgType::Control. */
 enum class CtlOp : std::uint32_t
 {
-    BalloonGive = 0, //!< Meta mgr: please inflate one block for me.
-    MapCreate = 1,   //!< §6.1: peer created a temporary IO mapping.
-    MapDestroy = 2,  //!< §6.1: peer destroyed a temporary IO mapping.
+    BalloonGive = 0,  //!< Meta mgr: please inflate one block for me.
+    MapCreate = 1,    //!< §6.1: peer created a temporary IO mapping.
+    MapDestroy = 2,   //!< §6.1: peer destroyed a temporary IO mapping.
+    MailAck = 3,      //!< Reliable-mail ack (operand = acked seq).
+    Heartbeat = 4,    //!< Watchdog liveness probe (operand = nonce).
+    HeartbeatAck = 5, //!< Watchdog probe reply (operand = nonce).
 };
 
 /** Pack a Control payload from subtype and 16-bit operand. */

@@ -1,0 +1,171 @@
+#include "os/watchdog.h"
+
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "sim/log.h"
+
+namespace k2 {
+namespace os {
+
+Watchdog::Watchdog(soc::Soc &soc, kern::Kernel &main,
+                   kern::Kernel &shadow, Dsm &dsm, IrqRouter &router,
+                   fault::FaultInjector *inj, Config cfg)
+    : soc_(soc), main_(main), shadow_(shadow), dsm_(dsm),
+      router_(router), injector_(inj), cfg_(cfg)
+{
+    K2_ASSERT(cfg_.missThreshold >= 1);
+    // Only exists when the fault plane is armed, so this track never
+    // appears in zero-fault traces.
+    track_ = soc_.engine().addTrack("os.recovery");
+}
+
+void
+Watchdog::suspect()
+{
+    if (probing_ || down_)
+        return;
+    suspicions_.inc();
+    probing_ = true;
+    K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
+             "watchdog suspects shadow kernel; probing");
+    soc_.engine().spanInstant(track_, "suspect");
+    soc_.engine().spawn(probeLoop());
+}
+
+sim::Task<void>
+Watchdog::probeLoop()
+{
+    std::uint32_t missed = 0;
+    for (;;) {
+        ackSeen_ = false;
+        const std::uint32_t nonce = nonce_++ & 0xFFFF;
+        heartbeats_.inc();
+        // The probe is kernel work on the strong domain: wake a core,
+        // charge the mailbox write, post the heartbeat.
+        soc::Core &core = main_.domain().core(0);
+        co_await core.ensureAwake();
+        core.pinActive();
+        co_await core.execTime(soc_.costs().busAccess);
+        core.unpinActive();
+        main_.sendMailRaw(
+            shadow_.domainId(),
+            encodeMessage(MsgType::Control,
+                          encodeCtl(CtlOp::Heartbeat, nonce), 0));
+        co_await soc_.engine().sleep(cfg_.period);
+        if (ackSeen_) {
+            falseAlarms_.inc();
+            probing_ = false;
+            K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
+                     "watchdog probe answered; false alarm");
+            co_return;
+        }
+        if (++missed >= cfg_.missThreshold) {
+            co_await recover();
+            probing_ = false;
+            co_return;
+        }
+    }
+}
+
+sim::Task<void>
+Watchdog::recover()
+{
+    down_ = true;
+    crashes_.inc();
+    const sim::Time t0 = soc_.engine().now();
+    if (injector_) {
+        const sim::Time crashed_at =
+            injector_->crashTime(shadow_.domainId());
+        if (crashed_at != 0)
+            detectUs_.sample(sim::toUsec(t0 - crashed_at));
+    }
+    K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
+             "watchdog declares shadow kernel dead; recovering");
+
+    // 1. Degrade: shared IO interrupts pin to the strong domain and
+    //    new shadowed spawns run on the main kernel until restart.
+    router_.setDegraded(true);
+
+    // 2. Re-own every DSM page, completing stranded main-side faults.
+    //    Charged as main-kernel work proportional to the pages whose
+    //    mappings are rewritten.
+    const std::uint64_t reclaimed = dsm_.reclaimAll(0);
+    pagesReclaimed_.inc(reclaimed);
+    soc::Core &core = main_.domain().core(0);
+    co_await core.ensureAwake();
+    core.pinActive();
+    co_await core.execTime(soc_.costs().busAccess * (1 + reclaimed));
+    core.unpinActive();
+
+    // 3. Restart the shadow kernel: reboot latency, then revive the
+    //    domain, reset its interrupt controller and replay the
+    //    kernel's recorded IRQ registrations (its shadowed-service
+    //    device setup).
+    co_await soc_.engine().sleep(cfg_.restartLatency);
+    if (injector_)
+        injector_->revive(shadow_.domainId());
+    shadow_.domain().irqCtrl().reset();
+    const std::size_t replayed = shadow_.replayIrqRegistrations();
+    servicesReplayed_.inc(replayed);
+    restarts_.inc();
+
+    // 4. Resume normal routing. The replayed registrations unmasked
+    //    every line on the shadow controller; re-applying the router's
+    //    masks restores single-owner routing of the shared lines.
+    router_.setDegraded(false);
+    router_.reapplyMasks();
+
+    down_ = false;
+    downUs_.sample(sim::toUsec(soc_.engine().now() - t0));
+    soc_.engine().spanComplete(t0, track_, "shadow_restart");
+    K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
+             "shadow kernel restarted (%llu pages re-owned, %zu IRQ "
+             "registrations replayed)",
+             static_cast<unsigned long long>(reclaimed), replayed);
+}
+
+sim::Task<void>
+Watchdog::handleMail(KernelIdx to, Message msg, soc::Core &core)
+{
+    K2_ASSERT(msg.type == MsgType::Control);
+    const std::uint32_t nonce = ctlOperand(msg.payload);
+    switch (ctlOp(msg.payload)) {
+    case CtlOp::Heartbeat:
+        // Shadow side: answer from the ISR.
+        K2_ASSERT(to == 1);
+        co_await core.execTime(soc_.costs().busAccess);
+        shadow_.sendMailRaw(
+            main_.domainId(),
+            encodeMessage(MsgType::Control,
+                          encodeCtl(CtlOp::HeartbeatAck, nonce), 0));
+        co_return;
+    case CtlOp::HeartbeatAck:
+        K2_ASSERT(to == 0);
+        heartbeatAcks_.inc();
+        ackSeen_ = true;
+        co_return;
+    default:
+        K2_PANIC("watchdog: unexpected control op in mail payload 0x%x",
+                 msg.payload);
+    }
+}
+
+void
+Watchdog::registerMetrics(obs::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".suspicions", suspicions_);
+    reg.addCounter(prefix + ".heartbeats", heartbeats_);
+    reg.addCounter(prefix + ".heartbeat_acks", heartbeatAcks_);
+    reg.addCounter(prefix + ".false_alarms", falseAlarms_);
+    reg.addCounter(prefix + ".crashes_detected", crashes_);
+    reg.addCounter(prefix + ".restarts", restarts_);
+    reg.addCounter(prefix + ".pages_reclaimed", pagesReclaimed_);
+    reg.addCounter(prefix + ".services_replayed", servicesReplayed_);
+    reg.addCounter(prefix + ".degraded_spawns", degradedSpawns_);
+    reg.addHistogram(prefix + ".detect_us", detectUs_);
+    reg.addHistogram(prefix + ".down_us", downUs_);
+}
+
+} // namespace os
+} // namespace k2

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shadow-kernel watchdog: crash detection and recovery.
+ *
+ * The weak domain can crash (fault plane: `domain.crash`), silently
+ * dropping all its mail and interrupt traffic. K2 notices through the
+ * reliable-mail shim: when a main->shadow channel has retransmitted a
+ * few times without an ack, it raises suspicion here. The watchdog
+ * then probes with explicit heartbeats (Control/Heartbeat, answered by
+ * the shadow's ISR with Control/HeartbeatAck); after missThreshold
+ * consecutive silent periods it declares the shadow dead and recovers:
+ *
+ *  1. degrade: pin shared IO interrupts to the strong domain and serve
+ *     new "shadowed" spawns on the main kernel (main-domain energy
+ *     cost) while the shadow is down;
+ *  2. re-own: take exclusive DSM ownership of every page
+ *     (Dsm::reclaimAll), completing main-side faults stranded waiting
+ *     on grants from the dead kernel;
+ *  3. restart: after the configured restart latency, revive the
+ *     domain, reset its interrupt controller, and replay the shadow
+ *     kernel's recorded IRQ registrations (its device/service setup);
+ *  4. resume: lift degraded routing and re-apply interrupt masks.
+ *
+ * Detection latency (crash onset -> declared) and downtime are sampled
+ * into os.recovery.* metrics; every action is charged simulated
+ * time/energy on the acting core.
+ */
+
+#ifndef K2_OS_WATCHDOG_H
+#define K2_OS_WATCHDOG_H
+
+#include <cstdint>
+#include <string>
+
+#include "kern/kernel.h"
+#include "os/dsm.h"
+#include "os/irq_router.h"
+#include "os/messages.h"
+#include "sim/stats.h"
+
+namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+namespace fault {
+class FaultInjector;
+}
+
+namespace os {
+
+class Watchdog
+{
+  public:
+    struct Config
+    {
+        sim::Duration period = sim::msec(2);       //!< Probe interval.
+        std::uint32_t missThreshold = 3;           //!< Silent probes.
+        sim::Duration restartLatency = sim::msec(10); //!< Reboot time.
+    };
+
+    Watchdog(soc::Soc &soc, kern::Kernel &main, kern::Kernel &shadow,
+             Dsm &dsm, IrqRouter &router, fault::FaultInjector *inj,
+             Config cfg);
+
+    /**
+     * Raise suspicion that the shadow kernel is dead (the reliable-
+     * mail shim's repeated-retransmit hook). Starts a heartbeat probe
+     * loop unless one is already running or recovery is in progress.
+     */
+    void suspect();
+
+    /** True while the shadow kernel is declared down. */
+    bool shadowDown() const { return down_; }
+
+    /** Handle a Heartbeat / HeartbeatAck control mail. */
+    sim::Task<void> handleMail(KernelIdx to, Message msg,
+                               soc::Core &core);
+
+    /** Count a spawn served on the main kernel while degraded. */
+    void noteDegradedSpawn() { degradedSpawns_.inc(); }
+
+    /** @name Statistics. @{ */
+    std::uint64_t crashesDetected() const { return crashes_.value(); }
+    std::uint64_t restarts() const { return restarts_.value(); }
+    std::uint64_t falseAlarms() const { return falseAlarms_.value(); }
+    /** @} */
+
+    /** Register stats under @p prefix (e.g. "os.recovery"). */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
+  private:
+    sim::Task<void> probeLoop();
+    sim::Task<void> recover();
+
+    soc::Soc &soc_;
+    kern::Kernel &main_;
+    kern::Kernel &shadow_;
+    Dsm &dsm_;
+    IrqRouter &router_;
+    fault::FaultInjector *injector_;
+    Config cfg_;
+    sim::TrackId track_{};
+    bool probing_ = false;
+    bool down_ = false;
+    bool ackSeen_ = false;
+    std::uint32_t nonce_ = 0;
+    sim::Counter heartbeats_;
+    sim::Counter heartbeatAcks_;
+    sim::Counter suspicions_;
+    sim::Counter falseAlarms_;
+    sim::Counter crashes_;
+    sim::Counter restarts_;
+    sim::Counter pagesReclaimed_;
+    sim::Counter servicesReplayed_;
+    sim::Counter degradedSpawns_;
+    sim::Histogram detectUs_;
+    sim::Histogram downUs_;
+};
+
+} // namespace os
+} // namespace k2
+
+#endif // K2_OS_WATCHDOG_H

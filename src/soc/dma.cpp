@@ -1,5 +1,6 @@
 #include "soc/dma.h"
 
+#include "fault/injector.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -48,9 +49,17 @@ DmaEngine::serve()
         queue_.pop_front();
         co_await engine_.sleep(transferTime(req.bytes));
         channelBusy_[req.chan] = false;
-        statusBits_ |= (req.chan < 64) ? (1ull << req.chan) : 0;
+        const std::uint64_t bit =
+            (req.chan < 64) ? (1ull << req.chan) : 0;
+        statusBits_ |= bit;
         completed_.inc();
-        bytes_.inc(req.bytes);
+        const bool errored = fault_ && fault_->onDmaTransfer();
+        if (errored)
+            errorBits_ |= bit;
+        else
+            bytes_.inc(req.bytes);
+        if (fault_ && fault_->onDmaCompletionIrq())
+            continue; // Completion IRQ pulse lost; status stays latched.
         if (irq_)
             irq_();
     }
@@ -62,6 +71,14 @@ DmaEngine::readStatus()
 {
     const std::uint64_t bits = statusBits_;
     statusBits_ = 0;
+    return bits;
+}
+
+std::uint64_t
+DmaEngine::readErrors()
+{
+    const std::uint64_t bits = errorBits_;
+    errorBits_ = 0;
     return bits;
 }
 

@@ -25,6 +25,9 @@
 #include "soc/config.h"
 
 namespace k2 {
+namespace fault {
+class FaultInjector;
+}
 namespace soc {
 
 class DmaEngine
@@ -59,6 +62,17 @@ class DmaEngine
      */
     std::uint64_t readStatus();
 
+    /**
+     * Read-and-clear the error status register: channels whose last
+     * transfer completed with an error (injected fault). An errored
+     * transfer still sets its completion bit -- the channel finished,
+     * the data is bad -- mirroring the sDMA CSR error flags.
+     */
+    std::uint64_t readErrors();
+
+    /** Attach a fault injector (transfer error, completion-IRQ loss). */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
     /** @name Statistics. @{ */
     std::uint64_t transfersCompleted() const { return completed_.value(); }
     std::uint64_t bytesMoved() const { return bytes_.value(); }
@@ -83,6 +97,8 @@ class DmaEngine
     std::deque<Request> queue_;
     bool serving_ = false;
     std::uint64_t statusBits_ = 0;
+    std::uint64_t errorBits_ = 0;
+    fault::FaultInjector *fault_ = nullptr;
     sim::Counter completed_;
     sim::Counter bytes_;
 };

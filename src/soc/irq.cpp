@@ -1,5 +1,6 @@
 #include "soc/irq.h"
 
+#include "fault/injector.h"
 #include "sim/log.h"
 
 namespace k2 {
@@ -54,6 +55,19 @@ bool
 InterruptController::raise(IrqLine line)
 {
     K2_ASSERT(line < lines_.size());
+    if (fault_) {
+        // A stalled domain sees the line once it resumes: level
+        // signals persist at the controller, so re-raise at stall end
+        // rather than dropping.
+        const sim::Time stall_end = fault_->stallEnd(domainId_);
+        if (stall_end > engine_.now()) {
+            engine_.at(stall_end, [this, line]() { raise(line); });
+            return false;
+        }
+        // Crashed domain (all raises lost) or an injected lost edge.
+        if (fault_->onIrqRaise(domainId_, line))
+            return false;
+    }
     Line &l = lines_[line];
     if (!l.handler) {
         maskedDrops_.inc();
@@ -69,6 +83,16 @@ InterruptController::raise(IrqLine line)
     delivered_.inc();
     engine_.spawn(deliver(line));
     return true;
+}
+
+void
+InterruptController::reset()
+{
+    for (Line &l : lines_) {
+        l.handler = nullptr;
+        l.masked = true;
+        l.pending = false;
+    }
 }
 
 Core &

@@ -23,6 +23,9 @@
 #include "soc/core.h"
 
 namespace k2 {
+namespace fault {
+class FaultInjector;
+}
 namespace soc {
 
 /** An interrupt line number. */
@@ -77,6 +80,24 @@ class InterruptController
     std::uint64_t maskedDrops() const { return maskedDrops_.value(); }
     /** @} */
 
+    /**
+     * Attach a fault injector; @p domain_id tells it which domain's
+     * clauses (lost IRQ, stall, crash) apply to this controller.
+     */
+    void
+    setFaultInjector(fault::FaultInjector *inj, std::uint32_t domain_id)
+    {
+        fault_ = inj;
+        domainId_ = domain_id;
+    }
+
+    /**
+     * Hardware reset: drop every handler, mask and clear every line.
+     * Used when recovery restarts a crashed domain's kernel, which then
+     * re-registers its handlers from scratch.
+     */
+    void reset();
+
   private:
     sim::Task<void> deliver(IrqLine line);
     Core &pickTargetCore();
@@ -92,6 +113,8 @@ class InterruptController
     std::vector<Core *> cores_;
     std::vector<Line> lines_;
     std::uint64_t entryInstr_;
+    fault::FaultInjector *fault_ = nullptr;
+    std::uint32_t domainId_ = 0;
     sim::Counter delivered_;
     sim::Counter maskedDrops_;
 };

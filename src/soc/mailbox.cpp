@@ -1,5 +1,6 @@
 #include "soc/mailbox.h"
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "sim/log.h"
 #include "soc/irq.h"
@@ -50,8 +51,41 @@ MailboxNet::deliver(DomainId from, DomainId to)
 {
     auto &chan = inflight_[chanIdx(from, to)];
     K2_ASSERT(!chan.empty());
-    const std::uint32_t word = chan.front();
+    if (fault_) {
+        // A stalled receiver holds arriving mail on the wire. Defer
+        // before popping: every delivery of this channel defers to the
+        // same instant, and same-time events dispatch in insertion
+        // order, so per-pair FIFO order is preserved.
+        const sim::Time stall_end = fault_->stallEnd(to);
+        if (stall_end > engine_.now()) {
+            engine_.at(stall_end,
+                       [this, from, to]() { deliver(from, to); });
+            return;
+        }
+    }
+    std::uint32_t word = chan.front();
     chan.pop_front();
+    if (fault_) {
+        using Fate = fault::FaultInjector::MailFate;
+        switch (fault_->onMailDeliver(from, to, word)) {
+        case Fate::Drop:
+        case Fate::Corrupt:
+            // Corrupted mail is detected by the modelled link ECC and
+            // discarded at the receiver: same outcome as a drop, with
+            // its own injection counter.
+            return;
+        case Fate::Duplicate:
+            fifos_[to].push_back(Mail{from, word});
+            delivered_.inc();
+            engine_.spanInstant(tracks_[to], "deliver",
+                                static_cast<double>(word));
+            if (ctrls_[to])
+                ctrls_[to]->raise(kIrqMailbox);
+            break;
+        case Fate::Deliver:
+            break;
+        }
+    }
     fifos_[to].push_back(Mail{from, word});
     delivered_.inc();
     engine_.spanInstant(tracks_[to], "deliver",

@@ -36,6 +36,9 @@ namespace k2 {
 namespace obs {
 class MetricsRegistry;
 }
+namespace fault {
+class FaultInjector;
+}
 
 namespace soc {
 
@@ -90,6 +93,13 @@ class MailboxNet
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
 
+    /**
+     * Attach a fault injector consulted at each delivery (drop,
+     * duplicate, bit-flip, crashed-endpoint drop, stall deferral).
+     * Null (the default) keeps delivery on the exact zero-fault path.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { fault_ = inj; }
+
   private:
     /** Deliver the oldest in-flight mail of the (from, to) channel. */
     void deliver(DomainId from, DomainId to);
@@ -107,6 +117,7 @@ class MailboxNet
     std::vector<std::deque<std::uint32_t>> inflight_;
     std::vector<InterruptController *> ctrls_;
     std::vector<sim::TrackId> tracks_; //!< Per-receiver span track.
+    fault::FaultInjector *fault_ = nullptr;
     sim::Counter delivered_;
     sim::Counter sent_;
 };

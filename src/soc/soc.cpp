@@ -1,5 +1,6 @@
 #include "soc/soc.h"
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "sim/log.h"
 
@@ -30,6 +31,20 @@ Soc::Soc(sim::Engine &eng, SocConfig config)
     dma_ = std::make_unique<DmaEngine>(eng, config_.costs,
                                        config_.numDmaChannels);
     dma_->setCompletionIrq([this]() { raiseSharedIrq(kIrqDma); });
+}
+
+void
+Soc::attachFaultInjector(fault::FaultInjector *inj)
+{
+    mailbox_->setFaultInjector(inj);
+    dma_->setFaultInjector(inj);
+    for (DomainId id = 0; id < domains_.size(); ++id)
+        domains_[id]->irqCtrl().setFaultInjector(inj, id);
+    if (inj) {
+        inj->arm([this](std::uint32_t dom, std::uint32_t line) {
+            domain(static_cast<DomainId>(dom)).irqCtrl().raise(line);
+        });
+    }
 }
 
 void

@@ -24,6 +24,9 @@ namespace k2 {
 namespace obs {
 class MetricsRegistry;
 }
+namespace fault {
+class FaultInjector;
+}
 
 namespace soc {
 
@@ -78,6 +81,13 @@ class Soc
      * sequence is deterministic.
      */
     std::uint32_t allocThreadId() { return nextTid_++; }
+
+    /**
+     * Thread a fault injector through every hook point (mailbox net,
+     * DMA engine, each domain's interrupt controller) and arm its
+     * scheduled clauses. Pass nullptr to detach.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
 
     /**
      * Register all hardware-level metrics under the "soc." prefix:

@@ -91,8 +91,36 @@ DmaDriver::transfer(kern::Thread &t, std::uint64_t bytes)
     co_await t.execTime(soc.costs().busAccess * kProgramRegs);
     soc.dma().program(chan, bytes);
 
-    // 4. Sleep until the completion ISR signals us.
-    co_await t.wait(*channels_[chan].done);
+    // 4. Sleep until the completion ISR signals us. With recovery
+    //    armed, don't trust the interrupt: if the transfer overstays
+    //    its expected engine time, poll the status register directly
+    //    (a lost completion IRQ leaves the status bit latched).
+    if (!recovery_) {
+        co_await t.wait(*channels_[chan].done);
+    } else {
+        const sim::Duration expect = soc.dma().transferTime(bytes);
+        // Generous first deadline: the engine is FIFO across channels,
+        // so queueing behind other transfers is normal.
+        sim::Duration patience = expect * 4 + sim::usec(500);
+        sim::Event *done = channels_[chan].done.get();
+        while (channels_[chan].busy) {
+            bool timer_fired = false;
+            sim::EventId timer = sys_.engine().after(
+                patience, [done, &timer_fired]() {
+                    timer_fired = true;
+                    done->pulse();
+                });
+            co_await t.wait(*done);
+            sys_.engine().cancel(timer);
+            if (!channels_[chan].busy)
+                break;
+            if (!timer_fired)
+                continue; // Unrelated wake; keep waiting.
+            irqPolls.inc();
+            co_await harvest(t.kernel(), t.core());
+            patience = expect * 2 + sim::usec(500);
+        }
+    }
 
     transfers.inc();
     bytesMoved.inc(bytes);
@@ -102,6 +130,18 @@ DmaDriver::transfer(kern::Thread &t, std::uint64_t bytes)
 sim::Task<void>
 DmaDriver::completionIsr(kern::Kernel &kern, soc::Core &core)
 {
+    co_await harvest(kern, core);
+}
+
+/**
+ * Read-and-clear the status (and, with recovery armed, error) register
+ * and complete or re-program the finished channels. Shared between the
+ * completion ISR and the recovery-mode timeout poll; the read is
+ * destructive, so whoever reads a channel's bit must fully process it.
+ */
+sim::Task<void>
+DmaDriver::harvest(kern::Kernel &kern, soc::Core &core)
+{
     auto &soc = sys_.soc();
     // Read-and-clear the engine's status register. A spurious
     // delivery (pending latched while masked, §7) reads zero and
@@ -110,6 +150,7 @@ DmaDriver::completionIsr(kern::Kernel &kern, soc::Core &core)
     const std::uint64_t status = soc.dma().readStatus();
     if (status == 0)
         co_return;
+    const std::uint64_t errors = recovery_ ? soc.dma().readErrors() : 0;
 
     irqsHandled.inc();
     co_await sys_.chargeCrossIsa(kern, core, kDriverPointers);
@@ -120,6 +161,14 @@ DmaDriver::completionIsr(kern::Kernel &kern, soc::Core &core)
         if (!(status & (1ull << i)))
             continue;
         K2_ASSERT(channels_[i].busy);
+        if (errors & (1ull << i)) {
+            // The transfer finished but the data is bad: re-program
+            // the channel and keep the waiter asleep.
+            transferErrors.inc();
+            co_await core.execTime(soc.costs().busAccess * kProgramRegs);
+            soc.dma().program(i, channels_[i].bytes);
+            continue;
+        }
         co_await core.execTime(kern.kernelWorkTime(core, kCompleteWork));
         channels_[i].busy = false;
         channels_[i].done->set();
@@ -134,6 +183,12 @@ DmaDriver::registerMetrics(obs::MetricsRegistry &reg,
     reg.addCounter(prefix + ".bytes", bytesMoved);
     reg.addCounter(prefix + ".irqs_handled", irqsHandled);
     reg.addAccumulator(prefix + ".transfer_us", transferUs);
+    // Recovery counters exist only when armed, keeping the zero-fault
+    // metric key set unchanged.
+    if (recovery_) {
+        reg.addCounter(prefix + ".transfer_errors", transferErrors);
+        reg.addCounter(prefix + ".irq_polls", irqPolls);
+    }
 }
 
 } // namespace svc

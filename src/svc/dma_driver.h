@@ -61,11 +61,23 @@ class DmaDriver
      */
     sim::Task<void> transfer(kern::Thread &t, std::uint64_t bytes);
 
+    /**
+     * Arm the driver's fault-recovery paths: errored transfers (the
+     * engine's error status bits) are re-programmed instead of
+     * completed with bad data, and waiters poll the status register
+     * after a transfer overstays its expected time, covering lost
+     * completion interrupts. Off by default -- the zero-fault path is
+     * unchanged.
+     */
+    void enableRecovery() { recovery_ = true; }
+
     /** @name Statistics. @{ */
     sim::Counter transfers;
     sim::Counter bytesMoved;
     sim::Counter irqsHandled;
     sim::Accumulator transferUs;
+    sim::Counter transferErrors; //!< Errored transfers re-programmed.
+    sim::Counter irqPolls;       //!< Timeout polls for lost IRQs.
 
     /** Register driver statistics under "<prefix>.*". */
     void registerMetrics(obs::MetricsRegistry &reg,
@@ -74,6 +86,7 @@ class DmaDriver
 
   private:
     sim::Task<void> completionIsr(kern::Kernel &kern, soc::Core &core);
+    sim::Task<void> harvest(kern::Kernel &kern, soc::Core &core);
 
     struct Channel
     {
@@ -85,6 +98,7 @@ class DmaDriver
     os::SystemImage &sys_;
     std::vector<Channel> channels_;
     std::unique_ptr<os::SharedRegion> state_;
+    bool recovery_ = false;
 };
 
 } // namespace svc

@@ -184,6 +184,28 @@ episodeReport(const obs::MetricsSnapshot &delta)
         }
     }
 
+    // Fault-injection and recovery activity: only counters that moved,
+    // so a zero-fault run's report is unchanged (the metrics don't
+    // even exist unless the fault plane is armed).
+    {
+        Table t({"counter", "delta"});
+        std::size_t rows = 0;
+        for (const auto &[name, v] : delta.values()) {
+            if (name.rfind("fault.injected.", 0) != 0 &&
+                name.rfind("os.recovery.", 0) != 0)
+                continue;
+            if (v.kind == obs::MetricValue::Kind::Counter && v.count) {
+                t.addRow({name, std::to_string(v.count)});
+                ++rows;
+            }
+        }
+        if (rows) {
+            if (!out.empty())
+                out += "\n";
+            out += "Recovery activity:\n" + t.render();
+        }
+    }
+
     return out;
 }
 

@@ -172,5 +172,24 @@ parseJobsFlag(int &argc, char **argv, unsigned fallback)
     return fallback;
 }
 
+std::string
+parseFaultsFlag(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        static constexpr const char kFlag[] = "--faults=";
+        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
+            continue;
+        const std::string spec = argv[i] + sizeof(kFlag) - 1;
+        if (spec.empty())
+            K2_FATAL("--faults expects a fault spec, e.g. "
+                     "--faults=mailbox.drop:p=1e-3");
+        for (int j = i; j + 1 < argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return spec;
+    }
+    return {};
+}
+
 } // namespace wl
 } // namespace k2

@@ -109,6 +109,16 @@ class SweepRunner
  */
 unsigned parseJobsFlag(int &argc, char **argv, unsigned fallback = 0);
 
+/**
+ * Parse and strip a leading `--faults=SPEC` flag from argv.
+ *
+ * SPEC is the fault::FaultPlan::parse() syntax, e.g.
+ * "mailbox.drop:p=1e-3,dma.err:at=2s". The spec string itself is
+ * returned (empty when the flag is absent) so each sweep cell can
+ * build its own FaultPlan; validation happens at plan parse time.
+ */
+std::string parseFaultsFlag(int &argc, char **argv);
+
 } // namespace wl
 } // namespace k2
 

@@ -21,6 +21,8 @@ Testbed::attachServices()
     fs_ = std::make_unique<svc::Ext2Fs>(*sys_, *disk_);
     dma_ = std::make_unique<svc::DmaDriver>(*sys_);
     udp_ = std::make_unique<svc::UdpStack>(*sys_);
+    if (k2_ && k2_->recoveryArmed())
+        dma_->enableRecovery();
 
     for (kern::Kernel *kern : sys_->kernels())
         dma_->attachKernel(*kern);

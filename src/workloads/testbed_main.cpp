@@ -4,7 +4,11 @@
  * baseline system and export observability artifacts.
  *
  *   testbed [--system=k2|linux] [--episodes=N] [--runs=N] [--seed=N]
- *           [--jobs=N] [--metrics=FILE] [--trace=FILE]
+ *           [--jobs=N] [--faults=SPEC] [--metrics=FILE] [--trace=FILE]
+ *
+ * --faults arms the K2 fault-injection plane with a declarative
+ * schedule (e.g. --faults="mailbox.drop:p=1e-3,dma.err:at=2s"); the
+ * recovery protocols and their os.recovery.* metrics come with it.
  *
  * --metrics writes the final registry snapshot as JSON; --trace writes
  * a Chrome trace_event (catapult) file loadable in chrome://tracing or
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 #include "sim/random.h"
@@ -40,6 +45,7 @@ struct Options
     int episodes = 6;
     int runs = 1;
     std::uint64_t seed = 42;
+    std::string faults;
     std::string metricsFile;
     std::string traceFile;
 };
@@ -78,6 +84,8 @@ parseArgs(int argc, char **argv, Options &opt)
             }
         } else if (const char *v = value("--seed=")) {
             opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--faults=")) {
+            opt.faults = v;
         } else if (const char *v = value("--metrics=")) {
             opt.metricsFile = v;
         } else if (const char *v = value("--trace=")) {
@@ -86,10 +94,16 @@ parseArgs(int argc, char **argv, Options &opt)
             std::fprintf(
                 stderr,
                 "usage: testbed [--system=k2|linux] [--episodes=N] "
-                "[--runs=N] [--seed=N] [--jobs=N] [--metrics=FILE] "
-                "[--trace=FILE]\n");
+                "[--runs=N] [--seed=N] [--jobs=N] [--faults=SPEC] "
+                "[--metrics=FILE] [--trace=FILE]\n");
             return false;
         }
+    }
+    if (!opt.faults.empty() && !opt.k2) {
+        std::fprintf(stderr,
+                     "--faults requires --system=k2 (the baseline has "
+                     "no fault plane)\n");
+        return false;
     }
     return true;
 }
@@ -129,8 +143,11 @@ runChain(const Options &opt, int run, RunOutput &out)
 {
     using namespace k2;
 
-    wl::Testbed tb =
-        opt.k2 ? wl::Testbed::makeK2() : wl::Testbed::makeLinux();
+    os::K2Config cfg;
+    if (!opt.faults.empty())
+        cfg.faults = fault::FaultPlan::parse(opt.faults);
+    wl::Testbed tb = opt.k2 ? wl::Testbed::makeK2(std::move(cfg))
+                            : wl::Testbed::makeLinux();
 
     const bool exportArtifacts = run == 0;
     if (exportArtifacts && !opt.traceFile.empty()) {
@@ -199,6 +216,17 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return 2;
+
+    // Validate the fault spec up front so a typo fails fast instead of
+    // surfacing from inside a sweep cell.
+    if (!opt.faults.empty()) {
+        try {
+            (void)fault::FaultPlan::parse(opt.faults);
+        } catch (const sim::FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
 
     // Each run is an independent sweep cell on its own testbed.
     wl::SweepRunner runner(jobs);
