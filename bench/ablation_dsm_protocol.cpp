@@ -18,6 +18,7 @@
 #include "os/k2_system.h"
 #include "workloads/report.h"
 #include "workloads/sweep.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -31,12 +32,17 @@ using sim::Task;
  * @param write_every Every Nth round is a write; the rest are reads.
  */
 double
-runMixUs(os::Dsm::Protocol proto, int write_every, int rounds)
+runMixUs(wl::SweepMode sweep, os::Dsm::Protocol proto, int write_every,
+         int rounds)
 {
-    os::K2Config cfg;
-    cfg.dsmProtocol = proto;
-    cfg.soc.costs.inactiveTimeout = 0;
-    os::K2System sys(cfg);
+    const bool three = proto == os::Dsm::Protocol::ThreeState;
+    auto &sys = wl::warmFixture<os::K2System>(
+        sweep, three ? "k2-3state" : "k2-2state", [proto] {
+            os::K2Config cfg;
+            cfg.dsmProtocol = proto;
+            cfg.soc.costs.inactiveTimeout = 0;
+            return std::make_unique<os::K2System>(cfg);
+        });
     auto &proc = sys.createProcess("bench");
 
     sim::Duration total = 0;
@@ -63,6 +69,7 @@ int
 main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Ablation (§6.3): two-state vs three-state DSM protocol");
 
@@ -81,12 +88,12 @@ main(int argc, char **argv)
     std::vector<double> three(std::size(mixes));
     for (std::size_t i = 0; i < std::size(mixes); ++i) {
         const int write_every = mixes[i].write_every;
-        runner.submit([&two, i, write_every]() {
-            two[i] = runMixUs(os::Dsm::Protocol::TwoState, write_every,
-                              kRounds);
+        runner.submit([&two, i, write_every, sweep]() {
+            two[i] = runMixUs(sweep, os::Dsm::Protocol::TwoState,
+                              write_every, kRounds);
         });
-        runner.submit([&three, i, write_every]() {
-            three[i] = runMixUs(os::Dsm::Protocol::ThreeState,
+        runner.submit([&three, i, write_every, sweep]() {
+            three[i] = runMixUs(sweep, os::Dsm::Protocol::ThreeState,
                                 write_every, kRounds);
         });
     }

@@ -45,6 +45,7 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -164,11 +165,17 @@ histMean(const obs::MetricsSnapshot &snap, const std::string &name)
 }
 
 void
-runCase(WorkloadKind wk, const fault::FaultPlan &plan, Cell &out)
+runCase(wl::SweepMode sweep, const std::string &key, WorkloadKind wk,
+        const std::function<fault::FaultPlan()> &plan, Cell &out)
 {
-    os::K2Config cfg;
-    cfg.faults = plan;
-    auto tb = wl::Testbed::makeK2(cfg);
+    // Cells sharing a fault plan share the pooled fixture; restore
+    // rewinds the injector's RNG streams and one-shot trigger state,
+    // so each cell sees the same fault sequence a cold boot would.
+    auto &tb = wl::warmK2(sweep, key, [&plan] {
+        os::K2Config cfg;
+        cfg.faults = plan();
+        return cfg;
+    });
     obs::MetricsRegistry reg;
     tb.registerMetrics(reg);
 
@@ -233,6 +240,7 @@ int
 main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Fault-tolerance ablation: fault rate x workload");
     std::printf("%d measured episodes per cell (1 warmup discarded, "
@@ -252,13 +260,18 @@ main(int argc, char **argv)
         for (std::size_t r = 0; r < kNumRates; ++r) {
             Cell *cell = &cells[w * kNumRates + r];
             const double rate = kRates[r];
-            runner.submit([wk, rate, cell]() {
-                runCase(wk, mixAtRate(rate), *cell);
+            const std::string key =
+                std::string("k2-rate-") + kRateLabels[r];
+            runner.submit([wk, rate, cell, key, sweep]() {
+                runCase(sweep, key, wk,
+                        [rate] { return mixAtRate(rate); }, *cell);
             });
         }
         Cell *cell = &crashCells[w];
-        runner.submit(
-            [wk, cell]() { runCase(wk, crashPlan(), *cell); });
+        runner.submit([wk, cell, sweep]() {
+            runCase(sweep, "k2-crash", wk,
+                    [] { return crashPlan(); }, *cell);
+        });
     }
     runner.run();
 

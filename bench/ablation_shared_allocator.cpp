@@ -17,6 +17,7 @@
 #include "baseline/shared_alloc_system.h"
 #include "workloads/report.h"
 #include "workloads/sweep.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -81,6 +82,7 @@ int
 main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Ablation (§9.3): page allocator as a shadowed service");
 
@@ -88,16 +90,23 @@ main(int argc, char **argv)
     Outcome sh{}, in{};
 
     wl::SweepRunner runner(jobs);
-    runner.submit([&sh]() {
-        os::K2Config cfg;
-        cfg.soc.costs.inactiveTimeout = 0;
-        baseline::SharedAllocSystem shared(cfg);
+    runner.submit([&sh, sweep]() {
+        auto &shared = wl::warmFixture<baseline::SharedAllocSystem>(
+            sweep, "shared-alloc", [] {
+                os::K2Config cfg;
+                cfg.soc.costs.inactiveTimeout = 0;
+                return std::make_unique<baseline::SharedAllocSystem>(
+                    cfg);
+            });
         sh = contendedAlloc(shared, kRounds);
     });
-    runner.submit([&in]() {
-        os::K2Config cfg;
-        cfg.soc.costs.inactiveTimeout = 0;
-        os::K2System independent(cfg);
+    runner.submit([&in, sweep]() {
+        auto &independent = wl::warmFixture<os::K2System>(
+            sweep, "k2-nogate", [] {
+                os::K2Config cfg;
+                cfg.soc.costs.inactiveTimeout = 0;
+                return std::make_unique<os::K2System>(cfg);
+            });
         in = contendedAlloc(independent, kRounds);
     });
     runner.run();

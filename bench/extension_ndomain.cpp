@@ -15,6 +15,7 @@
 #include "os/ndsm.h"
 #include "workloads/report.h"
 #include "workloads/sweep.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -54,6 +55,19 @@ struct Fixture
         proc = std::make_unique<kern::Process>(1, "bench");
     }
 
+    sim::Engine &engine() { return eng; }
+
+    void
+    snapState(snap::Io &io)
+    {
+        eng.snapState(io);
+        soc->snapState(io);
+        for (auto &k : kernels)
+            k->snapState(io);
+        ndsm->snapState(io);
+        proc->snapState(io);
+    }
+
     void
     touch(std::size_t k, std::uint64_t page)
     {
@@ -73,6 +87,7 @@ int
 main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Extension (§11): DSM across N coherence domains");
 
@@ -89,8 +104,10 @@ main(int argc, char **argv)
     std::vector<Row> rows(std::size(domain_counts));
     for (std::size_t i = 0; i < std::size(domain_counts); ++i) {
         const std::size_t n = domain_counts[i];
-        runner.submit([&rows, i, n]() {
-            Fixture fx(n);
+        runner.submit([&rows, i, n, sweep]() {
+            auto &fx = wl::warmFixture<Fixture>(
+                sweep, "ndsm-" + std::to_string(n),
+                [n] { return std::make_unique<Fixture>(n); });
             // Ring: each kernel in turn takes the page.
             constexpr int kRounds = 30;
             for (int r = 0; r < kRounds; ++r)
@@ -98,6 +115,7 @@ main(int argc, char **argv)
             std::uint64_t total_faults = 0;
             for (std::size_t k = 0; k < n; ++k)
                 total_faults += fx.ndsm->faults(k);
+
             rows[i] = Row{
                 fx.ndsm->meanFaultUs(1),
                 static_cast<double>(fx.ndsm->messagesSent()) /

@@ -19,6 +19,7 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -36,6 +37,7 @@ main(int argc, char **argv)
     using namespace k2;
 
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Figure 6(a): DMA energy efficiency (MB/J)");
 
@@ -45,22 +47,23 @@ main(int argc, char **argv)
         {1048576, 4 * 1048576},
     };
 
-    // One sweep cell per (case, system): each builds its own isolated
-    // testbed, so cells can run on any worker in any order.
+    // One sweep cell per (case, system). All cells share the default
+    // configurations, so in warm mode each worker thread boots one K2
+    // and one Linux testbed and forks every cell from those snapshots.
     wl::SweepRunner runner(jobs);
     std::vector<wl::EpisodeResult> k2res(std::size(cases));
     std::vector<wl::EpisodeResult> lxres(std::size(cases));
     for (std::size_t i = 0; i < std::size(cases); ++i) {
         const Case c = cases[i];
-        runner.submit([&k2res, i, c]() {
-            auto tb = wl::Testbed::makeK2();
+        runner.submit([&k2res, i, c, sweep]() {
+            auto &tb = wl::warmK2(sweep, "k2");
             k2res[i] =
                 wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
                                    wl::dmaCopy(tb.dma(), c.batch,
                                                c.total));
         });
-        runner.submit([&lxres, i, c]() {
-            auto tb = wl::Testbed::makeLinux();
+        runner.submit([&lxres, i, c, sweep]() {
+            auto &tb = wl::warmLinux(sweep, "linux");
             lxres[i] =
                 wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
                                    wl::dmaCopy(tb.dma(), c.batch,

@@ -16,6 +16,7 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 int
 main(int argc, char **argv)
@@ -23,6 +24,7 @@ main(int argc, char **argv)
     using namespace k2;
 
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Figure 6(b): ext2 energy efficiency (MB/J), "
                "8 files per run");
@@ -36,13 +38,13 @@ main(int argc, char **argv)
     std::vector<wl::EpisodeResult> lxres(std::size(sizes));
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
         const std::uint64_t size = sizes[i];
-        runner.submit([&k2res, i, size]() {
-            auto tb = wl::Testbed::makeK2();
+        runner.submit([&k2res, i, size, sweep]() {
+            auto &tb = wl::warmK2(sweep, "k2");
             k2res[i] = wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
                                           wl::ext2Sync(tb.fs(), size));
         });
-        runner.submit([&lxres, i, size]() {
-            auto tb = wl::Testbed::makeLinux();
+        runner.submit([&lxres, i, size, sweep]() {
+            auto &tb = wl::warmLinux(sweep, "linux");
             lxres[i] = wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
                                           wl::ext2Sync(tb.fs(), size));
         });

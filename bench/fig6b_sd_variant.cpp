@@ -19,28 +19,67 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 namespace {
 
 using namespace k2;
 
+/** A system image with an ext2 fs over a cached SD card attached. */
+struct SdFixture
+{
+    std::unique_ptr<os::SystemImage> sys;
+    std::unique_ptr<svc::SdCard> sd;
+    std::unique_ptr<svc::CachedBlockDevice> cache;
+    std::unique_ptr<svc::Ext2Fs> fs;
+    kern::Process *proc = nullptr;
+
+    sim::Engine &engine() { return sys->engine(); }
+
+    void
+    snapState(snap::Io &io)
+    {
+        sys->snapState(io);
+        sd->snapState(io);
+        cache->snapState(io);
+        fs->snapState(io);
+        io.check(proc->pid(), "SdFixture::proc");
+    }
+};
+
+std::unique_ptr<SdFixture>
+makeSdFixture(bool k2_model)
+{
+    auto f = std::make_unique<SdFixture>();
+    if (k2_model)
+        f->sys = std::make_unique<os::K2System>();
+    else
+        f->sys = std::make_unique<baseline::LinuxSystem>();
+    f->proc = &f->sys->createProcess("p");
+    f->sd = std::make_unique<svc::SdCard>(svc::Ext2Fs::kBlockBytes,
+                                          16384);
+    f->cache = std::make_unique<svc::CachedBlockDevice>(*f->sd, 256);
+    f->fs = std::make_unique<svc::Ext2Fs>(*f->sys, *f->cache);
+    f->sys->spawnNormal(*f->proc, "mkfs",
+                        [fs = f->fs.get()](kern::Thread &t)
+                            -> sim::Task<void> {
+                            co_await fs->mkfs(t);
+                        });
+    f->sys->engine().run();
+    return f;
+}
+
 /** Run the ext2 sync episode against an SD-backed filesystem. */
 double
-sdEfficiency(os::SystemImage &sys, kern::Process &proc,
+sdEfficiency(wl::SweepMode sweep, bool k2_model,
              std::uint64_t file_bytes)
 {
-    auto sd = std::make_unique<svc::SdCard>(svc::Ext2Fs::kBlockBytes,
-                                            16384);
-    auto cache =
-        std::make_unique<svc::CachedBlockDevice>(*sd, 256);
-    auto fs = std::make_unique<svc::Ext2Fs>(sys, *cache);
-    sys.spawnNormal(proc, "mkfs",
-                    [&](kern::Thread &t) -> sim::Task<void> {
-                        co_await fs->mkfs(t);
-                    });
-    sys.engine().run();
-    const auto res = wl::runEpisodeWarm(sys, proc, "ext2-sd",
-                                        wl::ext2Sync(*fs, file_bytes));
+    auto &f = wl::warmFixture<SdFixture>(
+        sweep, k2_model ? "k2-sd" : "linux-sd",
+        [k2_model] { return makeSdFixture(k2_model); });
+    const auto res =
+        wl::runEpisodeWarm(*f.sys, *f.proc, "ext2-sd",
+                           wl::ext2Sync(*f.fs, file_bytes));
     return res.mbPerJoule();
 }
 
@@ -50,6 +89,7 @@ int
 main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Figure 6(b) variant: ext2 on flash (SD) instead of "
                "ramdisk");
@@ -65,26 +105,22 @@ main(int argc, char **argv)
     std::vector<double> lx_ram(std::size(sizes));
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
         const std::uint64_t size = sizes[i];
-        runner.submit([&k2_sd, i, size]() {
-            os::K2System sys;
-            auto &proc = sys.createProcess("p");
-            k2_sd[i] = sdEfficiency(sys, proc, size);
+        runner.submit([&k2_sd, i, size, sweep]() {
+            k2_sd[i] = sdEfficiency(sweep, true, size);
         });
-        runner.submit([&lx_sd, i, size]() {
-            baseline::LinuxSystem sys;
-            auto &proc = sys.createProcess("p");
-            lx_sd[i] = sdEfficiency(sys, proc, size);
+        runner.submit([&lx_sd, i, size, sweep]() {
+            lx_sd[i] = sdEfficiency(sweep, false, size);
         });
         // Ramdisk references from the standard testbeds.
-        runner.submit([&k2_ram, i, size]() {
-            auto tb = wl::Testbed::makeK2();
+        runner.submit([&k2_ram, i, size, sweep]() {
+            auto &tb = wl::warmK2(sweep, "k2");
             k2_ram[i] =
                 wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
                                    wl::ext2Sync(tb.fs(), size))
                     .mbPerJoule();
         });
-        runner.submit([&lx_ram, i, size]() {
-            auto tb = wl::Testbed::makeLinux();
+        runner.submit([&lx_ram, i, size, sweep]() {
+            auto &tb = wl::warmLinux(sweep, "linux");
             lx_ram[i] =
                 wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
                                    wl::ext2Sync(tb.fs(), size))

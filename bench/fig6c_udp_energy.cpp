@@ -17,6 +17,7 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -35,6 +36,7 @@ main(int argc, char **argv)
     using namespace k2;
 
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     wl::banner("Figure 6(c): UDP loopback energy efficiency (MB/J)");
 
@@ -50,14 +52,14 @@ main(int argc, char **argv)
     std::vector<wl::EpisodeResult> lxres(std::size(cases));
     for (std::size_t i = 0; i < std::size(cases); ++i) {
         const Case c = cases[i];
-        runner.submit([&k2res, i, c]() {
-            auto tb = wl::Testbed::makeK2();
+        runner.submit([&k2res, i, c, sweep]() {
+            auto &tb = wl::warmK2(sweep, "k2");
             k2res[i] = wl::runEpisodeWarm(
                 tb.sys(), tb.proc(), "udp",
                 wl::udpLoopback(tb.udp(), c.batch, c.total));
         });
-        runner.submit([&lxres, i, c]() {
-            auto tb = wl::Testbed::makeLinux();
+        runner.submit([&lxres, i, c, sweep]() {
+            auto &tb = wl::warmLinux(sweep, "linux");
             lxres[i] = wl::runEpisodeWarm(
                 tb.sys(), tb.proc(), "udp",
                 wl::udpLoopback(tb.udp(), c.batch, c.total));

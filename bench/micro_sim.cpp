@@ -23,11 +23,15 @@
 
 #include "sim/engine.h"
 #include "sim/sync.h"
+#include "snap/snapshot.h"
 #include "soc/mmu.h"
 #include "kern/buddy.h"
 #include "kern/kernel.h"
 #include "os/messages.h"
 #include "os/reliable_mail.h"
+#include "workloads/benchmarks.h"
+#include "workloads/episode.h"
+#include "workloads/testbed.h"
 
 // ---------------------------------------------------------------------
 // Allocation-counting hook: replaces the global allocation functions
@@ -358,6 +362,86 @@ BM_TlbLookup(benchmark::State &state)
         benchmark::DoNotOptimize(tlb.access(tag++ % 48));
 }
 BENCHMARK(BM_TlbLookup);
+
+// ---------------------------------------------------------------------
+// Warm-state snapshot/fork (src/snap/). BM_TestbedBoot is the cost the
+// boot-once sweep mode amortises away; BM_SnapshotFork is what each
+// warm cell pays instead. The fork : boot ratio is the headline number
+// for the warm sweep mode (target: fork <= 10% of boot).
+// ---------------------------------------------------------------------
+
+/** Full cold boot: two kernels, DSM regions, mkfs on the ramdisk. */
+void
+BM_TestbedBoot(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto tb = wl::Testbed::makeK2();
+        tb.engine().run();
+        benchmark::DoNotOptimize(tb.engine().now());
+    }
+}
+BENCHMARK(BM_TestbedBoot)->Unit(benchmark::kMillisecond);
+
+/**
+ * Boot plus one discarded warm-up episode: the full provisioning cost
+ * a cold sweep cell pays before its measured episode, and the
+ * denominator for the fork headline (BM_SnapshotFork <= 10% of this).
+ * The warm-up is the fig. 6b filesystem workload at its middle size
+ * (256 KB files), the kind of cell the warm pool serves.
+ */
+void
+BM_TestbedBootWarm(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto tb = wl::Testbed::makeK2();
+        tb.engine().run();
+        (void)wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
+                                 wl::ext2Sync(tb.fs(), 256 * 1024), 0);
+        benchmark::DoNotOptimize(tb.engine().now());
+    }
+}
+BENCHMARK(BM_TestbedBootWarm)->Unit(benchmark::kMillisecond);
+
+/** Serialize a quiesced testbed into an in-memory image. */
+void
+BM_SnapshotCapture(benchmark::State &state)
+{
+    auto tb = wl::Testbed::makeK2();
+    tb.engine().run();
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        snap::Snapshot image = snap::Snapshot::of(tb);
+        bytes = image.sizeBytes();
+        benchmark::DoNotOptimize(image);
+    }
+    state.counters["image_bytes"] =
+        benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_SnapshotCapture)->Unit(benchmark::kMillisecond);
+
+/**
+ * Rewind a dirty testbed to its post-boot image: the per-cell cost of
+ * the warm sweep path. Each iteration dirties the instance with a DMA
+ * episode (untimed) so the restore always starts from post-episode
+ * state, exactly like a sweep cell.
+ */
+void
+BM_SnapshotFork(benchmark::State &state)
+{
+    auto tb = wl::Testbed::makeK2();
+    tb.engine().run();
+    const snap::Snapshot image = snap::Snapshot::of(tb);
+    for (auto _ : state) {
+        state.PauseTiming();
+        (void)wl::runEpisodeWarm(tb.sys(), tb.proc(), "dma",
+                                 wl::dmaCopy(tb.dma(), 4096,
+                                             64 * 1024));
+        state.ResumeTiming();
+        image.restore(tb);
+        benchmark::DoNotOptimize(tb.engine().now());
+    }
+}
+BENCHMARK(BM_SnapshotFork)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

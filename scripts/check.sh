@@ -32,7 +32,14 @@ elif [ "$MODE" = "--tsan" ]; then
     EXTRA=(-DK2_SANITIZE=thread)
 fi
 
-cmake -B "$BUILD_DIR" -S . -G Ninja "${EXTRA[@]}" >/dev/null
+# Prefer Ninja for fresh trees, but reuse whatever generator an
+# existing build dir was configured with (the tier-1 instructions
+# create build/ with the default generator).
+GEN=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    GEN=(-G Ninja)
+fi
+cmake -B "$BUILD_DIR" -S . "${GEN[@]}" "${EXTRA[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j
 
 if [ "$MODE" = "--tsan" ]; then
@@ -47,7 +54,14 @@ if [ "$MODE" = "--tsan" ]; then
     # faulty sweep across threads to race-check it too.
     "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
         --faults="mailbox.drop:p=0.2,mailbox.dup:p=0.1" >/dev/null
-    echo "tsan: parallel sweep tests OK"
+    # Warm (boot-once snapshot/fork) vs cold sweeps must emit
+    # byte-identical artifacts even at an adversarial thread count.
+    "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=warm --jobs=13 \
+        > "$BUILD_DIR/snap-warm.txt"
+    "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=cold --jobs=13 \
+        > "$BUILD_DIR/snap-cold.txt"
+    diff "$BUILD_DIR/snap-warm.txt" "$BUILD_DIR/snap-cold.txt"
+    echo "tsan: parallel sweep tests + warm/cold identity OK"
     exit 0
 fi
 
@@ -90,3 +104,23 @@ bad = [k for k in m
 assert not bad, f"fault plane armed without --faults: {bad}"
 EOF
 echo "fault smoke: injection + ARQ recovery + disarmed guard OK"
+
+# Snapshot smoke: the boot-once sweep mode (snap::Snapshot fork per
+# cell) must produce byte-identical artifacts to cold boots, serial
+# and sharded. Also covers the fork/--faults interaction: the
+# injector's RNG streams rewind with the image.
+SNAP_DIR="$BUILD_DIR/snap-smoke"
+mkdir -p "$SNAP_DIR"
+for jobs in 1 4; do
+    "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=warm --jobs="$jobs" \
+        > "$SNAP_DIR/warm_$jobs.txt"
+    "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=cold --jobs="$jobs" \
+        > "$SNAP_DIR/cold_$jobs.txt"
+    diff "$SNAP_DIR/warm_$jobs.txt" "$SNAP_DIR/cold_$jobs.txt"
+done
+"$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=3 --sweep=warm \
+    --faults="mailbox.drop:p=0.2" > "$SNAP_DIR/warm_faults.txt"
+"$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=3 --sweep=cold \
+    --faults="mailbox.drop:p=0.2" > "$SNAP_DIR/cold_faults.txt"
+diff "$SNAP_DIR/warm_faults.txt" "$SNAP_DIR/cold_faults.txt"
+echo "snapshot smoke: warm (fork) vs cold artifacts identical"

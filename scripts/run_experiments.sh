@@ -24,7 +24,13 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake -B "$BUILD_DIR" -G Ninja >/dev/null
+# Prefer Ninja for fresh trees, but reuse whatever generator an
+# existing build dir was configured with.
+GEN=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    GEN=(-G Ninja)
+fi
+cmake -B "$BUILD_DIR" "${GEN[@]}" >/dev/null
 cmake --build "$BUILD_DIR"
 
 echo "== running test suite =="
@@ -45,6 +51,9 @@ supports_jobs() {
 OUT="$BUILD_DIR/experiments.txt"
 : > "$OUT"
 echo "== running benches (output: $OUT, --jobs=$JOBS) =="
+# Per-binary wall-clock summary (stderr only, never in $OUT: artifact
+# bytes must not depend on host timing).
+TIMES=""
 for b in "$BUILD_DIR"/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     case "$b" in *cmake*|*CMake*|*CTest*) continue ;; esac
@@ -52,12 +61,18 @@ for b in "$BUILD_DIR"/bench/*; do
     if supports_jobs "$b"; then
         ARGS=(--jobs="$JOBS")
     fi
+    START=$(date +%s.%N)
     {
         echo
         echo "############ $(basename "$b") ############"
         "$b" "${ARGS[@]}"
     } | tee -a "$OUT"
+    ELAPSED=$(date +%s.%N | awk -v s="$START" '{printf "%.1f", $1 - s}')
+    TIMES="$TIMES$(printf '%8ss  %s' "$ELAPSED" "$(basename "$b")")"$'\n'
+    echo "-- $(basename "$b"): ${ELAPSED}s" >&2
 done
 
 echo
+echo "== per-binary wall clock ==" >&2
+printf '%s' "$TIMES" >&2
 echo "done; full output in $OUT"

@@ -60,6 +60,8 @@ class LinuxSystem : public os::SystemImage
     sim::Engine &ownedEngine() { return engine_; }
     const kern::AddressSpaceLayout &layout() const { return *layout_; }
 
+    void snapState(snap::Io &io) override;
+
   private:
     LinuxConfig cfg_;
     sim::Engine engine_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace kern {
@@ -15,6 +16,8 @@ BuddyAllocator::BuddyAllocator(std::string name, Pfn base,
     if (base_ % align != 0)
         K2_FATAL("allocator '%s' base pfn %llu not 16MB aligned",
                  name_.c_str(), static_cast<unsigned long long>(base_));
+    for (unsigned order = 0; order <= kMaxOrder; ++order)
+        freeLists_[order] = BlockSet((npages_ >> order) + 1);
 }
 
 BuddyAllocator::PageMeta &
@@ -34,19 +37,24 @@ BuddyAllocator::meta(Pfn pfn) const
 void
 BuddyAllocator::insertFree(Pfn pfn, unsigned order)
 {
-    freeLists_[order].insert(pfn);
-    meta(pfn).state = PageState::FreeHead;
-    meta(pfn).order = static_cast<std::uint8_t>(order);
+    insertFreeHead(pfn, order);
     const std::uint64_t n = 1ull << order;
     for (std::uint64_t i = 1; i < n; ++i)
         meta_[rel(pfn) + i].state = PageState::FreeBody;
 }
 
 void
+BuddyAllocator::insertFreeHead(Pfn pfn, unsigned order)
+{
+    freeLists_[order].insert(rel(pfn) >> order);
+    meta(pfn).state = PageState::FreeHead;
+    meta(pfn).order = static_cast<std::uint8_t>(order);
+}
+
+void
 BuddyAllocator::removeFree(Pfn pfn, unsigned order)
 {
-    const auto erased = freeLists_[order].erase(pfn);
-    K2_ASSERT(erased == 1);
+    freeLists_[order].erase(rel(pfn) >> order);
 }
 
 std::optional<BuddyAllocator::AllocResult>
@@ -69,7 +77,7 @@ BuddyAllocator::alloc(unsigned order, Migrate migrate)
         if (freeLists_[o].empty())
             continue;
         if (migrate == Migrate::Movable) {
-            const Pfn cand = *freeLists_[o].rbegin();
+            const Pfn cand = base_ + (freeLists_[o].max() << o);
             const Pfn cand_end = cand + (1ull << o);
             if (!have || cand_end > block + (1ull << found)) {
                 have = true;
@@ -77,7 +85,7 @@ BuddyAllocator::alloc(unsigned order, Migrate migrate)
                 block = cand;
             }
         } else {
-            const Pfn cand = *freeLists_[o].begin();
+            const Pfn cand = base_ + (freeLists_[o].min() << o);
             if (!have || cand < block) {
                 have = true;
                 found = o;
@@ -95,16 +103,18 @@ BuddyAllocator::alloc(unsigned order, Migrate migrate)
 
     // Split down to the requested order. For movable requests keep the
     // *upper* buddy and return the lower one to the free lists, and
-    // vice versa, to preserve the placement policy.
+    // vice versa, to preserve the placement policy. Splitting a free
+    // block only moves heads around -- every interior page is already
+    // FreeBody -- so the halves are re-inserted head-only.
     while (found > order) {
         --found;
         const Pfn lower = block;
         const Pfn upper = block + (1ull << found);
         if (migrate == Migrate::Movable) {
-            insertFree(lower, found);
+            insertFreeHead(lower, found);
             block = upper;
         } else {
-            insertFree(upper, found);
+            insertFreeHead(upper, found);
             block = lower;
         }
         work += workModel_.perSplit;
@@ -139,7 +149,13 @@ BuddyAllocator::free(Pfn first)
     freePages_ += n;
     std::uint64_t work = workModel_.base;
 
-    // Coalesce with free buddies.
+    // Only the freed allocation's own pages change body state; the
+    // interiors of any buddies absorbed below are already FreeBody.
+    for (std::uint64_t i = 0; i < n; ++i)
+        meta_[rel(first) + i].state = PageState::FreeBody;
+
+    // Coalesce with free buddies. Each absorbed buddy's head becomes
+    // an interior page of the merged block.
     Pfn block = first;
     while (order < kMaxOrder) {
         const std::uint64_t buddy_rel = rel(block) ^ (1ull << order);
@@ -151,11 +167,12 @@ BuddyAllocator::free(Pfn first)
             break;
         }
         removeFree(buddy, order);
+        meta(buddy).state = PageState::FreeBody;
         block = std::min(block, buddy);
         ++order;
         work += workModel_.perMerge;
     }
-    insertFree(block, order);
+    insertFreeHead(block, order);
     return work;
 }
 
@@ -401,11 +418,52 @@ BuddyAllocator::largestFreeOrder() const
 }
 
 void
+BuddyAllocator::snapState(snap::Io &io)
+{
+    io.check(base_, "BuddyAllocator::base");
+    io.check(npages_, "BuddyAllocator::npages");
+    // meta_ goes into the image as raw bytes; any padding in PageMeta
+    // would capture indeterminate garbage and break the fork-vs-cold
+    // byte-identity contract.
+    static_assert(sizeof(PageMeta) ==
+                      sizeof(PageState) + sizeof(std::uint8_t) +
+                          sizeof(Migrate),
+                  "PageMeta must be padding-free for podVec");
+    io.podVec(meta_);
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        // The bitmap iterates ascending, so the image is deterministic
+        // (absolute head pfns, the same bytes the std::set free lists
+        // produced).
+        BlockSet &list = freeLists_[order];
+        std::uint64_t n = io.count(list.size());
+        if (io.restoring()) {
+            list.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Pfn pfn;
+                io.pod(pfn);
+                list.insert(rel(pfn) >> order);
+            }
+        } else {
+            list.forEach([&](std::uint64_t idx) {
+                Pfn v = base_ + (idx << order);
+                io.pod(v);
+            });
+        }
+    }
+    io.pod(freePages_);
+    io.pod(allocatedPages_);
+    io.pod(allocCalls);
+    io.pod(freeCalls);
+    io.pod(failedAllocs);
+}
+
+void
 BuddyAllocator::checkInvariants() const
 {
     std::uint64_t free_count = 0;
     for (unsigned order = 0; order <= kMaxOrder; ++order) {
-        for (const Pfn head : freeLists_[order]) {
+        freeLists_[order].forEach([&](std::uint64_t idx) {
+            const Pfn head = base_ + (idx << order);
             const PageMeta &m = meta(head);
             K2_ASSERT(m.state == PageState::FreeHead);
             K2_ASSERT(m.order == order);
@@ -415,7 +473,7 @@ BuddyAllocator::checkInvariants() const
                 K2_ASSERT(meta_[rel(head) + i].state ==
                           PageState::FreeBody);
             }
-        }
+        });
     }
     K2_ASSERT(free_count == freePages_);
 

@@ -25,21 +25,153 @@
 #ifndef K2_KERN_BUDDY_H
 #define K2_KERN_BUDDY_H
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "sim/log.h"
 #include "sim/stats.h"
 #include "kern/types.h"
 
 namespace k2 {
+namespace snap {
+class Io;
+}
 namespace kern {
 
-/** Page mobility class, mirroring Linux migrate types. */
-enum class Migrate { Unmovable, Movable };
+/** Page mobility class, mirroring Linux migrate types. The narrow
+ *  underlying type keeps PageMeta padding-free, so the per-page
+ *  metadata vector can be snapshotted as raw bytes (snapState)
+ *  without capturing indeterminate padding. */
+enum class Migrate : std::uint8_t { Unmovable, Movable };
+
+/**
+ * Ordered set of free-block indices for one buddy order, as a
+ * two-level bitmap.
+ *
+ * The allocator's free lists only ever need keyed insert/erase, the
+ * extremal members (placement policy allocates movable blocks from
+ * the top of memory, unmovable from the bottom), and sorted iteration
+ * (snapshots, invariant checks). A bitmap serves all of those with no
+ * per-node heap traffic, which is what made the former std::set free
+ * lists the dominant cost of alloc()/free() (every split and coalesce
+ * paid a red-black-tree node allocation).
+ *
+ * Level 0 has one bit per block index; the summary level has one bit
+ * per level-0 word, so min()/max() scan the (tiny) summary word list
+ * and finish with two bit scans. All operations are O(words in the
+ * summary level), which is at most capacity / 4096.
+ */
+class BlockSet
+{
+  public:
+    BlockSet() = default;
+
+    explicit BlockSet(std::uint64_t capacity)
+        : words_((capacity + 63) / 64, 0),
+          summary_((words_.size() + 63) / 64, 0)
+    {}
+
+    bool empty() const { return count_ == 0; }
+    std::uint64_t size() const { return count_; }
+
+    /** Insert @p idx; it must not already be a member. */
+    void
+    insert(std::uint64_t idx)
+    {
+        const std::uint64_t w = idx / 64;
+        const std::uint64_t bit = 1ull << (idx % 64);
+        K2_ASSERT(!(words_[w] & bit));
+        if (words_[w] == 0)
+            summary_[w / 64] |= 1ull << (w % 64);
+        words_[w] |= bit;
+        ++count_;
+    }
+
+    /** Erase @p idx; it must be a member. */
+    void
+    erase(std::uint64_t idx)
+    {
+        const std::uint64_t w = idx / 64;
+        const std::uint64_t bit = 1ull << (idx % 64);
+        K2_ASSERT(words_[w] & bit);
+        words_[w] &= ~bit;
+        if (words_[w] == 0)
+            summary_[w / 64] &= ~(1ull << (w % 64));
+        --count_;
+    }
+
+    /** Smallest member; the set must be non-empty. */
+    std::uint64_t
+    min() const
+    {
+        for (std::uint64_t s = 0; s < summary_.size(); ++s) {
+            if (summary_[s] == 0)
+                continue;
+            const std::uint64_t w =
+                s * 64 +
+                static_cast<std::uint64_t>(std::countr_zero(summary_[s]));
+            return w * 64 +
+                   static_cast<std::uint64_t>(std::countr_zero(words_[w]));
+        }
+        K2_PANIC("BlockSet::min on empty set");
+    }
+
+    /** Largest member; the set must be non-empty. */
+    std::uint64_t
+    max() const
+    {
+        for (std::uint64_t s = summary_.size(); s-- > 0;) {
+            if (summary_[s] == 0)
+                continue;
+            const std::uint64_t w =
+                s * 64 + 63 -
+                static_cast<std::uint64_t>(std::countl_zero(summary_[s]));
+            return w * 64 + 63 -
+                   static_cast<std::uint64_t>(std::countl_zero(words_[w]));
+        }
+        K2_PANIC("BlockSet::max on empty set");
+    }
+
+    void
+    clear()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+        std::fill(summary_.begin(), summary_.end(), 0);
+        count_ = 0;
+    }
+
+    /** Call @p fn on every member in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::uint64_t s = 0; s < summary_.size(); ++s) {
+            std::uint64_t sw = summary_[s];
+            while (sw != 0) {
+                const std::uint64_t w =
+                    s * 64 +
+                    static_cast<std::uint64_t>(std::countr_zero(sw));
+                sw &= sw - 1;
+                std::uint64_t word = words_[w];
+                while (word != 0) {
+                    fn(w * 64 + static_cast<std::uint64_t>(
+                                    std::countr_zero(word)));
+                    word &= word - 1;
+                }
+            }
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::vector<std::uint64_t> summary_;
+    std::uint64_t count_ = 0;
+};
 
 class BuddyAllocator
 {
@@ -153,6 +285,9 @@ class BuddyAllocator
     /** Internal consistency check (for tests); panics on corruption. */
     void checkInvariants() const;
 
+    /** Capture/restore page metadata, free lists, and counters. */
+    void snapState(snap::Io &io);
+
   private:
     enum class PageState : std::uint8_t
     {
@@ -175,6 +310,17 @@ class BuddyAllocator
     const PageMeta &meta(Pfn pfn) const;
 
     void insertFree(Pfn pfn, unsigned order);
+
+    /**
+     * insertFree without the interior-page rewrite. Precondition:
+     * every page of the block except possibly the head is already
+     * FreeBody (true when splitting or coalescing free blocks, where
+     * only head positions change). Keeps meta_ byte-identical to the
+     * full rewrite while skipping the 2^order - 1 redundant stores
+     * that used to dominate alloc()/free().
+     */
+    void insertFreeHead(Pfn pfn, unsigned order);
+
     void removeFree(Pfn pfn, unsigned order);
 
     /** Find the head of the free block containing @p pfn. */
@@ -204,7 +350,8 @@ class BuddyAllocator
     Pfn base_;
     std::uint64_t npages_;
     std::vector<PageMeta> meta_;
-    std::array<std::set<Pfn>, kMaxOrder + 1> freeLists_;
+    /** Free block heads per order, keyed by rel(pfn) >> order. */
+    std::array<BlockSet, kMaxOrder + 1> freeLists_;
     std::uint64_t freePages_ = 0;
     std::uint64_t allocatedPages_ = 0;
     WorkModel workModel_;

@@ -1,6 +1,7 @@
 #include "kern/kernel.h"
 
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace kern {
@@ -22,6 +23,33 @@ Kernel::Kernel(soc::Soc &soc, soc::DomainId domain, std::string name)
 }
 
 Kernel::~Kernel() = default;
+
+void
+Kernel::snapState(snap::Io &io)
+{
+    io.pod(booted_);
+    io.check(irqLog_.size(), "Kernel::irqLog");
+
+    // Thread table: prune to the captured prefix. Threads spawned
+    // after the capture point are workload bodies that have run to
+    // completion (Done and reaped) by the time the system re-quiesces;
+    // the boot-time daemons of the prefix persist.
+    std::uint64_t n = io.count(threads_.size());
+    if (io.restoring()) {
+        K2_ASSERT(n <= threads_.size());
+        for (std::size_t i = static_cast<std::size_t>(n);
+             i < threads_.size(); ++i)
+            K2_ASSERT(threads_[i]->done());
+        threads_.resize(static_cast<std::size_t>(n));
+    }
+    for (auto &t : threads_) {
+        io.check(t->tid(), "Kernel::thread");
+        t->snapState(io);
+    }
+
+    sched_->snapState(io, threads_);
+    buddy_->snapState(io);
+}
 
 void
 Kernel::boot()

@@ -145,6 +145,14 @@ class Kernel
         return threads_;
     }
 
+    /**
+     * Capture/restore the kernel: the thread table (pruned back to the
+     * captured prefix; post-capture threads must already be Done and
+     * reaped), every thread's semantic state, the scheduler, and the
+     * page allocator.
+     */
+    void snapState(snap::Io &io);
+
   private:
     sim::Task<void> mailboxIsr(soc::Core &core);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "snap/io.h"
 #include "kern/kernel.h"
 #include "kern/sched.h"
 
@@ -15,6 +16,19 @@ Process::numNightWatch() const
     return static_cast<std::size_t>(
         std::count_if(threads_.begin(), threads_.end(),
                       [](const Thread *t) { return t->isNightWatch(); }));
+}
+
+void
+Process::snapState(snap::Io &io)
+{
+    io.check(pid_, "Process::pid");
+    std::uint64_t n = io.count(threads_.size());
+    if (io.restoring()) {
+        K2_ASSERT(n <= threads_.size());
+        threads_.resize(static_cast<std::size_t>(n));
+    }
+    for (Thread *t : threads_)
+        io.check(t->tid(), "Process::thread");
 }
 
 Thread::Thread(Kernel &kernel, Process *proc, Tid tid, std::string name,
@@ -49,6 +63,35 @@ Thread::core()
 {
     K2_ASSERT(core_ != nullptr);
     return *core_;
+}
+
+void
+Thread::snapState(snap::Io &io)
+{
+    io.pod(state_);
+    io.pod(suspended_);
+    io.pod(queued_);
+    io.pod(everRan_);
+    io.pod(dispatchedAt_);
+    // Core binding by id (pointers are host state).
+    std::uint32_t core = core_ ? core_->id() + 1 : 0;
+    io.pod(core);
+    if (io.restoring()) {
+        core_ = nullptr;
+        if (core != 0) {
+            for (soc::Core *c : scheduler().cores_) {
+                if (c->id() == core - 1) {
+                    core_ = c;
+                    break;
+                }
+            }
+            K2_ASSERT(core_ != nullptr);
+        }
+    }
+    // Frame positions are structural: record their shape only.
+    io.check(parked_ ? 1 : 0, "Thread::parked");
+    io.check(schedHandle_ ? 1 : 0, "Thread::schedHandle");
+    doneEvent_.snapState(io);
 }
 
 sim::Task<void>
@@ -108,7 +151,9 @@ Thread::exec(std::uint64_t instructions)
 sim::Task<void>
 Thread::execTime(sim::Duration d)
 {
-    co_await core().execTime(d);
+    // Pure delegation: hand back the core's task itself instead of
+    // wrapping it in another coroutine frame per call.
+    return core().execTime(d);
 }
 
 sim::Task<void>

@@ -58,6 +58,13 @@ class Process
     /** Number of NightWatch threads in this process. */
     std::size_t numNightWatch() const;
 
+    /**
+     * Prune the thread list back to the captured prefix (threads
+     * created after the capture point must already be Done and are
+     * dropped; the prefix is verified by tid).
+     */
+    void snapState(snap::Io &io);
+
   private:
     Pid pid_;
     std::string name_;
@@ -151,6 +158,14 @@ class Thread
     void reap();
 
     /** @} */
+
+    /**
+     * Capture/restore the semantic thread state. The coroutine frame
+     * itself is structural: a thread alive at capture is parked at the
+     * same await site at every quiescent point, so only its state
+     * flags, timestamps, and core binding are rewritten.
+     */
+    void snapState(snap::Io &io);
 
   private:
     friend class Scheduler;

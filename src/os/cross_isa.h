@@ -22,6 +22,7 @@
 #include "sim/task.h"
 #include "soc/core.h"
 #include "kern/kernel.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace os {
@@ -56,6 +57,9 @@ class CrossIsaDispatcher
 
     std::uint64_t dispatches() const { return dispatches_.value(); }
     sim::Duration perDispatch() const { return perDispatch_; }
+
+    /** Capture/restore: only the dispatch counter is mutable. */
+    void snapState(snap::Io &io) { io.pod(dispatches_); }
 
   private:
     kern::Kernel *shadow_;

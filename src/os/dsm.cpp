@@ -1,7 +1,11 @@
 #include "os/dsm.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace os {
@@ -294,7 +298,8 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
             break;
         }
     }
-    co_await core->ensureAwake();
+    if (!core->awake())
+        co_await core->ensureAwake();
 
     const sim::Time t_start = soc_.engine().now();
     const bool dirty = pi.state[owner] == PState::Exclusive;
@@ -335,8 +340,16 @@ Dsm::reclaimAll(KernelIdx owner)
     K2_ASSERT(owner < 2);
     const KernelIdx peer = 1 - owner;
     std::uint64_t reclaimed = 0;
-    for (auto &[page, pi] : pages_) {
-        (void)page;
+    // Iterate in sorted page order: reclaim pulses grant events, and
+    // the pulse order decides wakeup FIFO order -- hash order would
+    // make recovery runs irreproducible.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t page : keys) {
+        auto &pi = pages_.at(page);
         if (pi->state[owner] != PState::Exclusive ||
             pi->state[peer] != PState::Invalid)
             ++reclaimed;
@@ -352,6 +365,73 @@ Dsm::reclaimAll(KernelIdx owner)
         }
     }
     return reclaimed;
+}
+
+void
+Dsm::snapState(snap::Io &io)
+{
+    io.check(tracks_[0], "Dsm::track0");
+    io.check(tracks_[1], "Dsm::track1");
+    io.pod(seq_);
+    io.pod(nextRegionPage_);
+    io.pod(messages_);
+    io.pod(demotions_);
+    io.pod(retries_);
+    for (auto &mmu : mmus_)
+        mmu->snapState(io);
+    for (FaultStats &st : stats_) {
+        io.pod(st.faults);
+        io.pod(st.localFaultUs);
+        io.pod(st.protocolUs);
+        io.pod(st.commUs);
+        io.pod(st.serviceUs);
+        io.pod(st.exitUs);
+        io.pod(st.totalUs);
+    }
+
+    // Per-page coherence state, in sorted page order. The page map
+    // only ever grows (info() instantiates on first access); restore
+    // drops entries instantiated after the capture point -- they are
+    // re-instantiated identically on replay.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t n = io.count(keys.size());
+    if (io.restoring()) {
+        std::vector<std::uint64_t> snapKeys(
+            static_cast<std::size_t>(n));
+        for (auto &k : snapKeys)
+            io.pod(k);
+        for (std::uint64_t k : keys) {
+            if (!std::binary_search(snapKeys.begin(), snapKeys.end(),
+                                    k))
+                pages_.erase(k);
+        }
+        keys = std::move(snapKeys);
+    } else {
+        for (std::uint64_t k : keys) {
+            std::uint64_t v = k;
+            io.pod(v);
+        }
+    }
+    for (std::uint64_t k : keys) {
+        auto it = pages_.find(k);
+        if (it == pages_.end())
+            K2_FATAL("snapshot restore: DSM page %llu missing",
+                     static_cast<unsigned long long>(k));
+        PageInfo &pi = *it->second;
+        io.pod(pi.state);
+        io.pod(pi.demoted);
+        io.pod(pi.outstanding);
+        io.pod(pi.upgrade);
+        io.pod(pi.raced);
+        io.pod(pi.grantArrived);
+        pi.grant->snapState(io);
+        pi.settled->snapState(io);
+        io.pod(pi.lastServiceTime);
+    }
 }
 
 void

@@ -189,6 +189,13 @@ class Dsm
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
 
+    /**
+     * Capture/restore protocol state: per-page coherence state (pages
+     * instantiated after the capture point are dropped), MMU/TLB
+     * contents, fault statistics, and the message sequence counter.
+     */
+    void snapState(snap::Io &io);
+
   private:
     /** Per-kernel page state. */
     enum class PState : std::uint8_t { Invalid, Shared, Exclusive };

@@ -1,6 +1,9 @@
 #include "os/ndsm.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace os {
@@ -144,7 +147,8 @@ NDsm::serviceGet(std::size_t owner, std::size_t requester,
             break;
         }
     }
-    co_await core->ensureAwake();
+    if (!core->awake())
+        co_await core->ensureAwake();
 
     const sim::Time t0 = soc_.engine().now();
     co_await core->execTime(costs_[owner].serviceBase +
@@ -183,6 +187,61 @@ NDsm::handleMail(std::size_t to_kernel, soc::Mail mail, soc::Core &core)
       default:
         K2_PANIC("NDsm received unexpected message type %u",
                  static_cast<unsigned>(msg.type));
+    }
+}
+
+void
+NDsm::snapState(snap::Io &io)
+{
+    io.check(kernels_.size(), "NDsm::kernels");
+    io.pod(seq_);
+    io.pod(nextRegionPage_);
+    io.pod(messages_);
+    for (auto &mmu : mmus_)
+        mmu->snapState(io);
+    for (Stats &st : stats_) {
+        io.pod(st.faults);
+        io.pod(st.totalUs);
+    }
+
+    // Per-page directory state, in sorted page order. As in the
+    // two-kernel DSM, the page map only grows; restore drops entries
+    // instantiated after the capture point.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t n = io.count(keys.size());
+    if (io.restoring()) {
+        std::vector<std::uint64_t> snapKeys(
+            static_cast<std::size_t>(n));
+        for (auto &k : snapKeys)
+            io.pod(k);
+        for (std::uint64_t k : keys) {
+            if (!std::binary_search(snapKeys.begin(), snapKeys.end(),
+                                    k))
+                pages_.erase(k);
+        }
+        keys = std::move(snapKeys);
+    } else {
+        for (std::uint64_t k : keys) {
+            std::uint64_t v = k;
+            io.pod(v);
+        }
+    }
+    for (std::uint64_t k : keys) {
+        auto it = pages_.find(k);
+        if (it == pages_.end())
+            K2_FATAL("snapshot restore: N-DSM page %llu missing",
+                     static_cast<unsigned long long>(k));
+        PageInfo &pi = *it->second;
+        io.pod(pi.owner);
+        io.pod(pi.outstanding);
+        io.pod(pi.requester);
+        pi.grant->snapState(io);
+        pi.settled->snapState(io);
+        io.pod(pi.lastServiceTime);
     }
 }
 

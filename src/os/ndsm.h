@@ -92,6 +92,10 @@ class NDsm
     std::uint64_t messagesSent() const { return messages_.value(); }
     /** @} */
 
+    /** Capture/restore: per-page ownership (post-capture pages are
+     *  dropped), MMU state, statistics, and the sequence counter. */
+    void snapState(snap::Io &io);
+
   private:
     struct PageInfo
     {

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace os {
@@ -159,7 +160,8 @@ ReliableMail::chargeAndResend(KernelIdx from, soc::DomainId to_domain,
     // and charge the mailbox-register write before re-posting.
     kern::Kernel &kern = *kernels_[from];
     soc::Core &core = kern.domain().core(0);
-    co_await core.ensureAwake();
+    if (!core.awake())
+        co_await core.ensureAwake();
     core.pinActive();
     co_await core.execTime(kern.soc().costs().busAccess);
     core.unpinActive();
@@ -227,6 +229,24 @@ ReliableMail::registerMetrics(obs::MetricsRegistry &reg,
     reg.addCounter(prefix + ".duplicates_dropped", dupDropped_);
     reg.addCounter(prefix + ".giveups", giveups_);
     reg.addHistogram(prefix + ".ack_rtt_us", ackRttUs_);
+}
+
+void
+ReliableMail::snapState(snap::Io &io)
+{
+    io.check(channels_.size(), "ReliableMail::channels");
+    for (Channel &ch : channels_) {
+        // Unacked mail would imply a pending retransmit timer.
+        K2_ASSERT(ch.inflight.empty());
+        io.pod(ch.nextSeq);
+        io.pod(ch.seen);
+    }
+    io.pod(trackedSent_);
+    io.pod(retransmits_);
+    io.pod(acks_);
+    io.pod(dupDropped_);
+    io.pod(giveups_);
+    io.pod(ackRttUs_);
 }
 
 } // namespace os

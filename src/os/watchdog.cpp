@@ -3,6 +3,7 @@
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace os {
@@ -43,7 +44,8 @@ Watchdog::probeLoop()
         // The probe is kernel work on the strong domain: wake a core,
         // charge the mailbox write, post the heartbeat.
         soc::Core &core = main_.domain().core(0);
-        co_await core.ensureAwake();
+        if (!core.awake())
+            co_await core.ensureAwake();
         core.pinActive();
         co_await core.execTime(soc_.costs().busAccess);
         core.unpinActive();
@@ -92,7 +94,8 @@ Watchdog::recover()
     const std::uint64_t reclaimed = dsm_.reclaimAll(0);
     pagesReclaimed_.inc(reclaimed);
     soc::Core &core = main_.domain().core(0);
-    co_await core.ensureAwake();
+    if (!core.awake())
+        co_await core.ensureAwake();
     core.pinActive();
     co_await core.execTime(soc_.costs().busAccess * (1 + reclaimed));
     core.unpinActive();
@@ -165,6 +168,29 @@ Watchdog::registerMetrics(obs::MetricsRegistry &reg,
     reg.addCounter(prefix + ".degraded_spawns", degradedSpawns_);
     reg.addHistogram(prefix + ".detect_us", detectUs_);
     reg.addHistogram(prefix + ".down_us", downUs_);
+}
+
+void
+Watchdog::snapState(snap::Io &io)
+{
+    // A probe loop or recovery in flight would hold pending timer
+    // events, contradicting engine quiescence.
+    K2_ASSERT(!probing_);
+    K2_ASSERT(!down_);
+    io.check(track_, "Watchdog::track");
+    io.pod(ackSeen_);
+    io.pod(nonce_);
+    io.pod(heartbeats_);
+    io.pod(heartbeatAcks_);
+    io.pod(suspicions_);
+    io.pod(falseAlarms_);
+    io.pod(crashes_);
+    io.pod(restarts_);
+    io.pod(pagesReclaimed_);
+    io.pod(servicesReplayed_);
+    io.pod(degradedSpawns_);
+    io.pod(detectUs_);
+    io.pod(downUs_);
 }
 
 } // namespace os

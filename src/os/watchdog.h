@@ -90,6 +90,12 @@ class Watchdog
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
 
+    /**
+     * Capture/restore. Quiescence requires no probe in flight (a probe
+     * loop implies pending timer events) and the shadow kernel up.
+     */
+    void snapState(snap::Io &io);
+
   private:
     sim::Task<void> probeLoop();
     sim::Task<void> recover();

@@ -44,6 +44,9 @@
 #include "sim/trace.h"
 
 namespace k2 {
+namespace snap {
+class Io;
+}
 namespace sim {
 
 /**
@@ -209,6 +212,17 @@ class Engine
     /** The engine's trace ring buffer (disabled by default). */
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
+
+    /**
+     * Capture/restore the engine's state (snap::Snapshot).
+     *
+     * Precondition both ways: quiescent -- the event heap is empty and
+     * no live records exist, so the slab is one free-list permutation.
+     * Restore rewrites the clock, the dispatch/sequence counters, the
+     * tracer, and the exact slot-generation + free-list chain, so a
+     * rewound engine hands out byte-identical EventIds to a cold one.
+     */
+    void snapState(snap::Io &io);
 
     /** Record a trace event at the current time (cheap when the
      *  category is disabled -- check tracer().on(cat) before

@@ -72,8 +72,10 @@ class FrameCache
   public:
     /** Bucket granularity; frames round up to a multiple of this. */
     static constexpr std::size_t kGranule = 64;
-    /** Buckets cover frames up to kGranule * kBuckets bytes. */
-    static constexpr std::size_t kBuckets = 16;
+    /** Buckets cover frames up to kGranule * kBuckets bytes. The fs
+     *  and DSM coroutines carry block-sized locals plus several
+     *  awaiters, so frames up to ~3 KB are common on hot paths. */
+    static constexpr std::size_t kBuckets = 48;
     /** Per-bucket cap; beyond it blocks return to the heap. */
     static constexpr std::size_t kMaxPerBucket = 128;
 
@@ -177,8 +179,9 @@ class PromiseBase
         await_suspend(std::coroutine_handle<Promise> h) noexcept
         {
             PromiseBase &p = h.promise();
-            std::coroutine_handle<> next = p.continuation_
-                ? p.continuation_ : std::noop_coroutine();
+            // continuation_ defaults to the noop coroutine, so the
+            // completion path is an unconditional symmetric transfer.
+            std::coroutine_handle<> next = p.continuation_;
             if (p.detached_) {
                 // Nobody owns a detached coroutine's frame; reclaim it
                 // here. `next` was captured before the destroy.
@@ -221,7 +224,7 @@ class PromiseBase
     }
 
   private:
-    std::coroutine_handle<> continuation_{};
+    std::coroutine_handle<> continuation_ = std::noop_coroutine();
     std::exception_ptr exception_{};
     bool detached_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace soc {
@@ -173,7 +174,8 @@ Core::ensureAwake()
 sim::Task<void>
 Core::exec(std::uint64_t instructions)
 {
-    co_await ensureAwake();
+    if (!awake())
+        co_await ensureAwake();
     beginBusy();
     instrs_.inc(instructions);
     co_await engine_.sleep(instrTime(instructions));
@@ -183,10 +185,33 @@ Core::exec(std::uint64_t instructions)
 sim::Task<void>
 Core::execTime(sim::Duration d)
 {
-    co_await ensureAwake();
+    if (!awake())
+        co_await ensureAwake();
     beginBusy();
     co_await engine_.sleep(d);
     endBusy();
+}
+
+void
+Core::snapState(snap::Io &io)
+{
+    io.check(client_, "Core::client");
+    io.check(track_, "Core::track");
+    io.pod(point_);
+    io.pod(state_);
+    io.pod(busyCount_);
+    io.pod(waking_);
+    wakeDone_.snapState(io);
+    // The (stale at quiescence) timer handle participates in the next
+    // cancel()'s generation comparison, so restore it bit-exactly.
+    io.pod(inactiveTimer_);
+    io.pod(idleEpoch_);
+    io.pod(lastThreadActivity_);
+    io.pod(lastStateChange_);
+    for (auto &r : residency_)
+        io.pod(r);
+    io.pod(wakeups_);
+    io.pod(instrs_);
 }
 
 sim::Duration

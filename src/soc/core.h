@@ -82,6 +82,16 @@ class Core
     sim::Task<void> ensureAwake();
 
     /**
+     * True when ensureAwake() would complete without suspending --
+     * callers on hot paths use this to skip spawning its coroutine
+     * (the overwhelmingly common case is an already-awake core).
+     */
+    bool awake() const
+    {
+        return state_ != PowerState::Inactive && !waking_;
+    }
+
+    /**
      * @name Active pinning.
      *
      * Hold the core in the Active state across an await of unknown
@@ -117,6 +127,9 @@ class Core
     std::uint64_t wakeups() const { return wakeups_.value(); }
     std::uint64_t instructionsRetired() const { return instrs_.value(); }
     /** @} */
+
+    /** Capture/restore power state, residency, and timer epochs. */
+    void snapState(snap::Io &io);
 
   private:
     void setState(PowerState s);

@@ -2,6 +2,7 @@
 
 #include "fault/injector.h"
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace soc {
@@ -95,6 +96,19 @@ InterruptController::reset()
     }
 }
 
+void
+InterruptController::snapState(snap::Io &io)
+{
+    io.check(lines_.size(), "InterruptController::lines");
+    for (Line &l : lines_) {
+        io.check(l.handler ? 1 : 0, "InterruptController::handler");
+        io.pod(l.masked);
+        io.pod(l.pending);
+    }
+    io.pod(delivered_);
+    io.pod(maskedDrops_);
+}
+
 Core &
 InterruptController::pickTargetCore()
 {
@@ -116,7 +130,8 @@ sim::Task<void>
 InterruptController::deliver(IrqLine line)
 {
     Core &core = pickTargetCore();
-    co_await core.ensureAwake();
+    if (!core.awake())
+        co_await core.ensureAwake();
     co_await core.exec(entryInstr_);
     // The handler may have been replaced, but never removed, since
     // raise(); re-read it.

@@ -11,7 +11,8 @@ namespace svc {
 RamDisk::RamDisk(std::size_t block_bytes, std::uint64_t num_blocks,
                  std::uint64_t request_instr)
     : blockBytes_(block_bytes), numBlocks_(num_blocks),
-      requestInstr_(request_instr), data_(block_bytes * num_blocks)
+      requestInstr_(request_instr), data_(block_bytes * num_blocks),
+      dirty_(num_blocks, false)
 {}
 
 sim::Duration
@@ -44,7 +45,61 @@ RamDisk::write(kern::Thread &t, std::uint64_t block,
     co_await t.exec(requestInstr_);
     co_await t.execTime(copyTime(t));
     std::memcpy(&data_[block * blockBytes_], in.data(), blockBytes_);
+    if (!dirty_[block]) {
+        dirty_[block] = true;
+        ++dirtyCount_;
+    }
     writes.inc();
+}
+
+void
+RamDisk::snapState(snap::Io &io)
+{
+    io.check(blockBytes_, "RamDisk::blockBytes");
+    io.check(numBlocks_, "RamDisk::numBlocks");
+    io.pod(reads);
+    io.pod(writes);
+
+    if (io.capturing()) {
+        io.count(dirtyCount_);
+        // The bitmap scan yields ascending indices: deterministic
+        // bytes for identical disk contents.
+        for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+            if (!dirty_[b])
+                continue;
+            io.pod(b);
+            io.bytes(&data_[b * blockBytes_], blockBytes_);
+        }
+    } else {
+        const std::uint64_t n = io.count(0);
+        // Write-only dirtying means the instance's dirty set is a
+        // superset of the image's. Walk both ascending sets in step:
+        // re-zero blocks dirtied only after the capture, reload the
+        // captured ones.
+        std::uint64_t imageBlock = numBlocks_; // sentinel: none left
+        std::uint64_t taken = 0;
+        if (taken < n)
+            io.pod(imageBlock);
+        for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+            if (!dirty_[b])
+                continue;
+            if (taken < n && b == imageBlock) {
+                io.bytes(&data_[b * blockBytes_], blockBytes_);
+                ++taken;
+                imageBlock = numBlocks_;
+                if (taken < n)
+                    io.pod(imageBlock);
+            } else {
+                std::memset(&data_[b * blockBytes_], 0, blockBytes_);
+                dirty_[b] = false;
+            }
+        }
+        if (taken != n)
+            K2_FATAL("RamDisk image holds %llu blocks not dirty in the "
+                     "target",
+                     static_cast<unsigned long long>(n - taken));
+        dirtyCount_ = n;
+    }
 }
 
 } // namespace svc

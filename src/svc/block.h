@@ -9,15 +9,48 @@
 #define K2_SVC_BLOCK_H
 
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "sim/stats.h"
 #include "sim/task.h"
 #include "kern/thread.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace svc {
+
+/**
+ * Zero-filled backing store for simulated disks.
+ *
+ * A value-initialised std::vector would memset (and fault in) the
+ * whole device at construction -- tens of milliseconds for a 64 MB
+ * disk, which dominated testbed boot. calloc hands back the kernel's
+ * copy-on-write zero pages instead: untouched blocks cost nothing
+ * until first written and still read as zeroes.
+ */
+class ZeroedStore
+{
+  public:
+    explicit ZeroedStore(std::size_t bytes)
+        : p_(static_cast<std::uint8_t *>(std::calloc(bytes ? bytes : 1, 1)))
+    {
+        if (!p_)
+            throw std::bad_alloc();
+    }
+
+    ~ZeroedStore() { std::free(p_); }
+    ZeroedStore(const ZeroedStore &) = delete;
+    ZeroedStore &operator=(const ZeroedStore &) = delete;
+
+    std::uint8_t &operator[](std::size_t i) { return p_[i]; }
+    const std::uint8_t &operator[](std::size_t i) const { return p_[i]; }
+
+  private:
+    std::uint8_t *p_;
+};
 
 /** A synchronous block device accessed from thread context. */
 class BlockDevice
@@ -65,13 +98,27 @@ class RamDisk : public BlockDevice
     sim::Counter writes;
     /** @} */
 
+    /** Blocks written at least once (the copy-on-write working set). */
+    std::uint64_t dirtyBlocks() const { return dirtyCount_; }
+
+    /**
+     * Capture/restore. The backing store starts zero-filled and only
+     * write() dirties it, so the image holds just the ever-written
+     * blocks; restore re-zeroes blocks the instance dirtied after the
+     * capture point. This keeps snapshots proportional to the disk's
+     * working set, not its capacity.
+     */
+    void snapState(snap::Io &io);
+
   private:
     sim::Duration copyTime(const kern::Thread &t) const;
 
     std::size_t blockBytes_;
     std::uint64_t numBlocks_;
     std::uint64_t requestInstr_;
-    std::vector<std::uint8_t> data_;
+    ZeroedStore data_;
+    std::vector<bool> dirty_;     //!< Per-block ever-written bit.
+    std::uint64_t dirtyCount_ = 0;
 };
 
 } // namespace svc

@@ -1,10 +1,12 @@
 #include "svc/ext2.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "obs/metrics.h"
 #include "sim/log.h"
+#include "snap/io.h"
 
 namespace k2 {
 namespace svc {
@@ -74,6 +76,23 @@ fsStatusName(FsStatus s)
     return "?";
 }
 
+Ext2Fs::Scratch::Scratch(Ext2Fs &fs, bool zeroed) : fs_(fs)
+{
+    if (fs.scratchPool_.empty()) {
+        buf_.assign(kBlockBytes, 0); // Fresh buffers start zeroed.
+        return;
+    }
+    buf_ = std::move(fs.scratchPool_.back());
+    fs.scratchPool_.pop_back();
+    if (zeroed)
+        std::fill(buf_.begin(), buf_.end(), 0);
+}
+
+Ext2Fs::Scratch::~Scratch()
+{
+    fs_.scratchPool_.push_back(std::move(buf_));
+}
+
 Ext2Fs::Ext2Fs(os::SystemImage &sys, BlockDevice &dev,
                std::uint32_t num_inodes)
     : sys_(sys), dev_(dev), numInodes_(num_inodes), fds_(64)
@@ -122,14 +141,14 @@ Ext2Fs::mkfs(kern::Thread &t)
     sb_.freeInodes = numInodes_ - 2; // inode 0 reserved, 1 = root.
 
     // Zero the bitmaps and inode table.
-    std::vector<std::uint8_t> zero(kBlockBytes, 0);
+    Scratch zero(*this, true);
     co_await dev_.write(t, 1, zero);
     co_await dev_.write(t, 2, zero);
     for (std::uint32_t b = 0; b < sb_.inodeTableBlocks; ++b)
         co_await dev_.write(t, sb_.inodeTableStart + b, zero);
 
     // Mark inodes 0 and 1 used in the inode bitmap.
-    std::vector<std::uint8_t> bm(kBlockBytes, 0);
+    Scratch bm(*this, true);
     bm[0] = 0x3;
     co_await dev_.write(t, 1, bm);
 
@@ -151,7 +170,7 @@ Ext2Fs::mkfs(kern::Thread &t)
 sim::Task<void>
 Ext2Fs::writeSuperblock(kern::Thread &t)
 {
-    std::vector<std::uint8_t> buf(kBlockBytes, 0);
+    Scratch buf(*this, true);
     std::memcpy(buf.data(), &sb_, sizeof(sb_));
     co_await dev_.write(t, 0, buf);
 }
@@ -160,14 +179,22 @@ sim::Task<std::optional<std::uint32_t>>
 Ext2Fs::allocFromBitmap(kern::Thread &t, std::uint32_t bitmap_block,
                         std::uint32_t limit)
 {
-    std::vector<std::uint8_t> bm(kBlockBytes);
+    Scratch bm(*this);
     co_await dev_.read(t, bitmap_block, bm);
-    for (std::uint32_t i = 0; i < limit; ++i) {
-        if (!(bm[i / 8] & (1u << (i % 8)))) {
-            bm[i / 8] |= (1u << (i % 8));
-            co_await dev_.write(t, bitmap_block, bm);
-            co_return i;
-        }
+    // First-fit scan from bit 0; skipping full (0xFF) bytes matters
+    // because on a busy device most of the prefix is allocated.
+    const std::uint32_t nbytes = (limit + 7) / 8;
+    for (std::uint32_t byte = 0; byte < nbytes; ++byte) {
+        if (bm[byte] == 0xFF)
+            continue;
+        const std::uint32_t i =
+            byte * 8 + static_cast<std::uint32_t>(
+                           std::countr_one(bm[byte]));
+        if (i >= limit)
+            break;
+        bm[i / 8] |= (1u << (i % 8));
+        co_await dev_.write(t, bitmap_block, bm);
+        co_return i;
     }
     co_return std::nullopt;
 }
@@ -176,7 +203,7 @@ sim::Task<void>
 Ext2Fs::freeInBitmap(kern::Thread &t, std::uint32_t bitmap_block,
                      std::uint32_t idx)
 {
-    std::vector<std::uint8_t> bm(kBlockBytes);
+    Scratch bm(*this);
     co_await dev_.read(t, bitmap_block, bm);
     K2_ASSERT(bm[idx / 8] & (1u << (idx % 8)));
     bm[idx / 8] &= static_cast<std::uint8_t>(~(1u << (idx % 8)));
@@ -192,7 +219,7 @@ Ext2Fs::readInode(kern::Thread &t, std::uint32_t ino)
     const std::uint32_t block =
         sb_.inodeTableStart +
         ino / static_cast<std::uint32_t>(kInodesPerBlock);
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     co_await dev_.read(t, block, buf);
     Inode inode;
     std::memcpy(&inode, &buf[(ino % kInodesPerBlock) * kInodeBytes],
@@ -209,7 +236,7 @@ Ext2Fs::writeInode(kern::Thread &t, std::uint32_t ino, const Inode &inode)
     const std::uint32_t block =
         sb_.inodeTableStart +
         ino / static_cast<std::uint32_t>(kInodesPerBlock);
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     co_await dev_.read(t, block, buf);
     std::memcpy(&buf[(ino % kInodesPerBlock) * kInodeBytes], &inode,
                 sizeof(inode));
@@ -257,11 +284,11 @@ Ext2Fs::blockFor(kern::Thread &t, Inode &inode, std::uint64_t offset,
         if (!blk)
             co_return std::nullopt;
         inode.indirect = *blk;
-        std::vector<std::uint8_t> zero(kBlockBytes, 0);
+        Scratch zero(*this, true);
         co_await dev_.write(t, inode.indirect, zero);
     }
 
-    std::vector<std::uint8_t> ind(kBlockBytes);
+    Scratch ind(*this);
     co_await dev_.read(t, inode.indirect, ind);
     std::uint32_t entry = 0;
     std::memcpy(&entry, &ind[ind_idx * 4], 4);
@@ -292,7 +319,7 @@ Ext2Fs::truncate(kern::Thread &t, Inode &inode)
         }
     }
     if (inode.indirect) {
-        std::vector<std::uint8_t> ind(kBlockBytes);
+        Scratch ind(*this);
         co_await dev_.read(t, inode.indirect, ind);
         for (std::size_t i = 0; i < kIndirectEntries; ++i) {
             std::uint32_t entry = 0;
@@ -314,7 +341,7 @@ Ext2Fs::dirLookup(kern::Thread &t, std::uint32_t dir_ino,
     Inode dir = co_await readInode(t, dir_ino);
     if (dir.mode != static_cast<std::uint32_t>(InodeMode::Dir))
         co_return std::nullopt;
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     for (std::uint64_t off = 0; off < dir.size; off += kBlockBytes) {
         auto blk = co_await blockFor(t, dir, off, false);
         if (!blk)
@@ -340,7 +367,7 @@ Ext2Fs::dirInsert(kern::Thread &t, std::uint32_t dir_ino,
     if (name.size() > kNameMax)
         co_return FsStatus::NameTooLong;
     Inode dir = co_await readInode(t, dir_ino);
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
 
     // Reuse a hole if one exists.
     for (std::uint64_t off = 0; off < dir.size; off += kBlockBytes) {
@@ -385,7 +412,7 @@ Ext2Fs::dirRemove(kern::Thread &t, std::uint32_t dir_ino,
                   const std::string &name)
 {
     Inode dir = co_await readInode(t, dir_ino);
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     for (std::uint64_t off = 0; off < dir.size; off += kBlockBytes) {
         auto blk = co_await blockFor(t, dir, off, false);
         if (!blk)
@@ -412,7 +439,7 @@ sim::Task<bool>
 Ext2Fs::dirEmpty(kern::Thread &t, std::uint32_t dir_ino)
 {
     Inode dir = co_await readInode(t, dir_ino);
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     for (std::uint64_t off = 0; off < dir.size; off += kBlockBytes) {
         auto blk = co_await blockFor(t, dir, off, false);
         if (!blk)
@@ -542,7 +569,7 @@ Ext2Fs::write(kern::Thread &t, int fd, std::span<const std::uint8_t> data)
 
     Inode inode = co_await readInode(t, of.ino);
     std::int64_t written = 0;
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     std::int64_t result = 0;
 
     while (written < static_cast<std::int64_t>(data.size())) {
@@ -591,7 +618,7 @@ Ext2Fs::read(kern::Thread &t, int fd, std::span<std::uint8_t> out)
 
     Inode inode = co_await readInode(t, of.ino);
     std::int64_t got = 0;
-    std::vector<std::uint8_t> buf(kBlockBytes);
+    Scratch buf(*this);
     while (got < static_cast<std::int64_t>(out.size()) &&
            of.offset < inode.size) {
         auto blk = co_await blockFor(t, inode, of.offset, false);
@@ -752,7 +779,7 @@ Ext2Fs::readdir(kern::Thread &t, const std::string &path)
     }
     if (found) {
         Inode dir = co_await readInode(t, dir_ino);
-        std::vector<std::uint8_t> buf(kBlockBytes);
+        Scratch buf(*this);
         for (std::uint64_t off = 0; off < dir.size; off += kBlockBytes) {
             auto blk = co_await blockFor(t, dir, off, false);
             if (!blk)
@@ -787,6 +814,26 @@ Ext2Fs::registerMetrics(obs::MetricsRegistry &reg,
     reg.addGauge(prefix + ".free_inodes", [this]() {
         return static_cast<double>(freeInodes());
     });
+}
+
+void
+Ext2Fs::snapState(snap::Io &io)
+{
+    io.check(numInodes_, "Ext2Fs::numInodes");
+    io.pod(sb_);
+    io.pod(formatted_);
+    io.pod(opsCreate);
+    io.pod(opsWrite);
+    io.pod(opsRead);
+    io.pod(opsUnlink);
+
+    // Open-file table. Field-wise: OpenFile has interior padding.
+    io.check(fds_.size(), "Ext2Fs::fds");
+    for (OpenFile &f : fds_) {
+        io.pod(f.ino);
+        io.pod(f.offset);
+        io.pod(f.used);
+    }
 }
 
 } // namespace svc

@@ -146,6 +146,10 @@ class Ext2Fs
                          const std::string &prefix) const;
     /** @} */
 
+    /** Capture/restore: superblock cache, open-file table, stats.
+     *  (On-disk state is captured by the backing device.) */
+    void snapState(snap::Io &io);
+
   private:
     struct Superblock
     {
@@ -190,6 +194,35 @@ class Ext2Fs
         std::uint32_t ino = 0;
         std::uint64_t offset = 0;
         bool used = false;
+    };
+
+    /**
+     * A borrowed block-sized buffer, recycled through scratchPool_.
+     *
+     * Every helper used to construct a fresh std::vector per call,
+     * value-initialising 4 KB each time; with one device op per
+     * simulated block that memset + allocator round trip dominated
+     * host time in block-heavy sweeps. Buffers come back with stale
+     * contents -- callers that rely on zeroes must say so; everyone
+     * else fully overwrites the buffer (device read or block-sized
+     * memcpy) before reading it.
+     */
+    class Scratch
+    {
+      public:
+        explicit Scratch(Ext2Fs &fs, bool zeroed = false);
+        ~Scratch();
+        Scratch(const Scratch &) = delete;
+        Scratch &operator=(const Scratch &) = delete;
+
+        std::uint8_t *data() { return buf_.data(); }
+        std::uint8_t &operator[](std::size_t i) { return buf_[i]; }
+        operator std::span<std::uint8_t>() { return buf_; }
+        operator std::span<const std::uint8_t>() const { return buf_; }
+
+      private:
+        Ext2Fs &fs_;
+        std::vector<std::uint8_t> buf_;
     };
 
     /** Charge a state touch + kernel work for a metadata operation. */
@@ -247,6 +280,8 @@ class Ext2Fs
     bool formatted_ = false;
     std::unique_ptr<os::SharedRegion> state_;
     std::vector<OpenFile> fds_;
+    /** Scratch buffer pool (host-side only; never snapshotted). */
+    std::vector<std::vector<std::uint8_t>> scratchPool_;
 };
 
 } // namespace svc

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/log.h"
+#include "snap/io.h"
 #include "soc/core.h"
 
 namespace k2 {
@@ -15,7 +16,7 @@ SdCard::SdCard(std::size_t block_bytes, std::uint64_t num_blocks)
 SdCard::SdCard(std::size_t block_bytes, std::uint64_t num_blocks,
                Timing timing)
     : blockBytes_(block_bytes), numBlocks_(num_blocks), timing_(timing),
-      data_(block_bytes * num_blocks)
+      data_(block_bytes * num_blocks), dirty_(num_blocks)
 {}
 
 sim::Task<void>
@@ -52,7 +53,57 @@ SdCard::write(kern::Thread &t, std::uint64_t block,
     }
     co_await t.sleep(xfer);
     std::memcpy(&data_[block * blockBytes_], in.data(), blockBytes_);
+    if (!dirty_[block]) {
+        dirty_[block] = true;
+        ++dirtyCount_;
+    }
     writes.inc();
+}
+
+void
+SdCard::snapState(snap::Io &io)
+{
+    io.check(blockBytes_, "SdCard::blockBytes");
+    io.check(numBlocks_, "SdCard::numBlocks");
+    io.pod(reads);
+    io.pod(writes);
+    io.pod(gcPauses);
+    io.pod(writesSinceGc_);
+
+    if (io.capturing()) {
+        io.count(dirtyCount_);
+        for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+            if (!dirty_[b])
+                continue;
+            io.pod(b);
+            io.bytes(&data_[b * blockBytes_], blockBytes_);
+        }
+    } else {
+        const std::uint64_t n = io.count(0);
+        std::uint64_t imageBlock = numBlocks_; // sentinel: none left
+        std::uint64_t taken = 0;
+        if (taken < n)
+            io.pod(imageBlock);
+        for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+            if (!dirty_[b])
+                continue;
+            if (taken < n && b == imageBlock) {
+                io.bytes(&data_[b * blockBytes_], blockBytes_);
+                ++taken;
+                imageBlock = numBlocks_;
+                if (taken < n)
+                    io.pod(imageBlock);
+            } else {
+                std::memset(&data_[b * blockBytes_], 0, blockBytes_);
+                dirty_[b] = false;
+            }
+        }
+        if (taken != n)
+            K2_FATAL("snapshot restore: SD image has %llu blocks the "
+                     "card never dirtied",
+                     static_cast<unsigned long long>(n - taken));
+        dirtyCount_ = n;
+    }
 }
 
 CachedBlockDevice::CachedBlockDevice(BlockDevice &backing,
@@ -80,11 +131,12 @@ CachedBlockDevice::copyTime(kern::Thread &t) const
 }
 
 void
-CachedBlockDevice::touchLru(std::uint64_t block)
+CachedBlockDevice::touchLru(Entry &e)
 {
-    auto &e = entries_.at(block);
-    lru_.erase(e.lruPos);
-    lru_.push_front(block);
+    // Relink the existing node instead of erase + push_front: splice
+    // moves it without touching the allocator, and the entry's stored
+    // iterator stays valid.
+    lru_.splice(lru_.begin(), lru_, e.lruPos);
     e.lruPos = lru_.begin();
 }
 
@@ -95,7 +147,7 @@ CachedBlockDevice::ensureResident(kern::Thread &t, std::uint64_t block,
     auto it = entries_.find(block);
     if (it != entries_.end()) {
         hits.inc();
-        touchLru(block);
+        touchLru(it->second);
         co_return &it->second;
     }
 
@@ -155,6 +207,42 @@ CachedBlockDevice::flush(kern::Thread &t)
             writebacks.inc();
             co_await backing_.write(t, *it, e.data);
             e.dirty = false;
+        }
+    }
+}
+
+void
+CachedBlockDevice::snapState(snap::Io &io)
+{
+    io.check(capacity_, "CachedBlockDevice::capacity");
+    io.pod(hits);
+    io.pod(misses);
+    io.pod(writebacks);
+
+    // Entries in LRU order, front (MRU) first. Restore rebuilds both
+    // containers from scratch -- unlike the structural tables, a block
+    // cache holds no host resources beyond its payload bytes.
+    std::uint64_t n = io.count(lru_.size());
+    if (io.restoring()) {
+        entries_.clear();
+        lru_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t block = 0;
+            io.pod(block);
+            Entry e;
+            e.data.resize(backing_.blockBytes());
+            io.bytes(e.data.data(), e.data.size());
+            io.pod(e.dirty);
+            lru_.push_back(block);
+            e.lruPos = std::prev(lru_.end());
+            entries_.emplace(block, std::move(e));
+        }
+    } else {
+        for (std::uint64_t block : lru_) {
+            Entry &e = entries_.at(block);
+            io.pod(block);
+            io.bytes(e.data.data(), e.data.size());
+            io.pod(e.dirty);
         }
     }
 }

@@ -62,11 +62,16 @@ class SdCard : public BlockDevice
     sim::Counter gcPauses;
     /** @} */
 
+    /** Capture/restore: dirty blocks only, as for RamDisk. */
+    void snapState(snap::Io &io);
+
   private:
     std::size_t blockBytes_;
     std::uint64_t numBlocks_;
     Timing timing_;
-    std::vector<std::uint8_t> data_;
+    ZeroedStore data_;
+    std::vector<bool> dirty_;       //!< Per-block: written since boot.
+    std::uint64_t dirtyCount_ = 0;
     std::uint32_t writesSinceGc_ = 0;
 };
 
@@ -116,6 +121,13 @@ class CachedBlockDevice : public BlockDevice
     sim::Counter writebacks;
     /** @} */
 
+    /**
+     * Capture/restore. Cache contents are plain data (no parked
+     * coroutines), so restore rebuilds the entry map and LRU order
+     * wholesale from the image.
+     */
+    void snapState(snap::Io &io);
+
   private:
     struct Entry
     {
@@ -124,8 +136,8 @@ class CachedBlockDevice : public BlockDevice
         std::list<std::uint64_t>::iterator lruPos;
     };
 
-    /** Move @p block to the MRU position. */
-    void touchLru(std::uint64_t block);
+    /** Move an entry's node to the MRU position. */
+    void touchLru(Entry &e);
 
     /** Ensure @p block is resident; may evict (writing back). */
     sim::Task<Entry *> ensureResident(kern::Thread &t,

@@ -50,6 +50,13 @@ class Testbed
      */
     void registerMetrics(obs::MetricsRegistry &reg);
 
+    /**
+     * Capture/restore the full fixture: the system image (engine, SoC,
+     * kernels, OS services) and the four attached service drivers.
+     * Quiesce first (engine().run()).
+     */
+    void snapState(snap::Io &io);
+
   private:
     Testbed() = default;
     void attachServices();

@@ -4,7 +4,8 @@
  * baseline system and export observability artifacts.
  *
  *   testbed [--system=k2|linux] [--episodes=N] [--runs=N] [--seed=N]
- *           [--jobs=N] [--faults=SPEC] [--metrics=FILE] [--trace=FILE]
+ *           [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
+ *           [--metrics=FILE] [--trace=FILE]
  *
  * --faults arms the K2 fault-injection plane with a declarative
  * schedule (e.g. --faults="mailbox.drop:p=1e-3,dma.err:at=2s"); the
@@ -16,10 +17,13 @@
  * per-episode report (DSM fault breakdown, per-rail energy split,
  * service activity) prints to stdout either way.
  *
- * --runs=N repeats the whole episode chain N times, run r on a fresh
- * testbed seeded with seed+r; the runs are independent sweep cells and
- * execute in parallel under --jobs (metrics/trace artifacts always
- * come from run 0, so they stay byte-identical to a single run).
+ * --runs=N repeats the whole episode chain N times, run r seeded with
+ * seed+r; the runs are independent sweep cells and execute in parallel
+ * under --jobs (metrics/trace artifacts always come from run 0, so
+ * they stay byte-identical to a single run). By default each worker
+ * boots one testbed and forks the remaining runs from a warm snapshot;
+ * --sweep=cold boots per run instead. Both modes produce identical
+ * bytes.
  */
 
 #include <cstdio>
@@ -36,6 +40,7 @@
 #include "workloads/report.h"
 #include "workloads/sweep.h"
 #include "workloads/testbed.h"
+#include "workloads/warm.h"
 
 namespace {
 
@@ -94,8 +99,8 @@ parseArgs(int argc, char **argv, Options &opt)
             std::fprintf(
                 stderr,
                 "usage: testbed [--system=k2|linux] [--episodes=N] "
-                "[--runs=N] [--seed=N] [--jobs=N] [--faults=SPEC] "
-                "[--metrics=FILE] [--trace=FILE]\n");
+                "[--runs=N] [--seed=N] [--jobs=N] [--sweep=warm|cold] "
+                "[--faults=SPEC] [--metrics=FILE] [--trace=FILE]\n");
             return false;
         }
     }
@@ -139,15 +144,23 @@ struct RunOutput
  * --jobs.
  */
 void
-runChain(const Options &opt, int run, RunOutput &out)
+runChain(const Options &opt, k2::wl::SweepMode sweep, int run,
+         RunOutput &out)
 {
     using namespace k2;
 
-    os::K2Config cfg;
-    if (!opt.faults.empty())
-        cfg.faults = fault::FaultPlan::parse(opt.faults);
-    wl::Testbed tb = opt.k2 ? wl::Testbed::makeK2(std::move(cfg))
-                            : wl::Testbed::makeLinux();
+    // All runs share one configuration, so under --sweep=warm each
+    // worker boots a single testbed and forks every run from its
+    // snapshot. The tracer enable flags below are snapshotted state,
+    // so run 0's span recording does not leak into sibling runs.
+    wl::Testbed &tb = opt.k2
+        ? wl::warmK2(sweep, "k2:" + opt.faults, [&opt] {
+              os::K2Config cfg;
+              if (!opt.faults.empty())
+                  cfg.faults = fault::FaultPlan::parse(opt.faults);
+              return cfg;
+          })
+        : wl::warmLinux(sweep, "linux");
 
     const bool exportArtifacts = run == 0;
     if (exportArtifacts && !opt.traceFile.empty()) {
@@ -212,6 +225,7 @@ main(int argc, char **argv)
     using namespace k2;
 
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
+    const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     Options opt;
     if (!parseArgs(argc, argv, opt))
@@ -233,8 +247,9 @@ main(int argc, char **argv)
     std::vector<RunOutput> outputs(
         static_cast<std::size_t>(opt.runs));
     for (int r = 0; r < opt.runs; ++r) {
-        runner.submit([&opt, &outputs, r]() {
-            runChain(opt, r, outputs[static_cast<std::size_t>(r)]);
+        runner.submit([&opt, &outputs, r, sweep]() {
+            runChain(opt, sweep, r,
+                     outputs[static_cast<std::size_t>(r)]);
         });
     }
     runner.run();

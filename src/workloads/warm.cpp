@@ -1,0 +1,61 @@
+#include "workloads/warm.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace k2 {
+namespace wl {
+
+const char *
+sweepModeName(SweepMode mode)
+{
+    return mode == SweepMode::Warm ? "warm" : "cold";
+}
+
+SweepMode
+parseSweepFlag(int &argc, char **argv, SweepMode fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        static constexpr const char kFlag[] = "--sweep=";
+        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
+            continue;
+        const char *value = argv[i] + sizeof(kFlag) - 1;
+        SweepMode mode;
+        if (std::strcmp(value, "cold") == 0)
+            mode = SweepMode::Cold;
+        else if (std::strcmp(value, "warm") == 0)
+            mode = SweepMode::Warm;
+        else
+            K2_FATAL("--sweep expects 'cold' or 'warm', got '%s'",
+                     value);
+        for (int j = i; j + 1 < argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return mode;
+    }
+    return fallback;
+}
+
+Testbed &
+warmK2(SweepMode mode, const std::string &key,
+       const std::function<os::K2Config()> &cfg)
+{
+    return warmFixture<Testbed>(mode, key, [&cfg] {
+        return std::make_unique<Testbed>(
+            cfg ? Testbed::makeK2(cfg()) : Testbed::makeK2());
+    });
+}
+
+Testbed &
+warmLinux(SweepMode mode, const std::string &key,
+          const std::function<baseline::LinuxConfig()> &cfg)
+{
+    return warmFixture<Testbed>(mode, key, [&cfg] {
+        return std::make_unique<Testbed>(
+            cfg ? Testbed::makeLinux(cfg()) : Testbed::makeLinux());
+    });
+}
+
+} // namespace wl
+} // namespace k2
