@@ -22,6 +22,8 @@
 #include <new>
 
 #include "sim/engine.h"
+#include "sim/random.h"
+#include "sim/sketch.h"
 #include "sim/sync.h"
 #include "snap/snapshot.h"
 #include "soc/mmu.h"
@@ -31,6 +33,7 @@
 #include "os/reliable_mail.h"
 #include "workloads/benchmarks.h"
 #include "workloads/episode.h"
+#include "workloads/fleet.h"
 #include "workloads/testbed.h"
 
 // ---------------------------------------------------------------------
@@ -442,6 +445,56 @@ BM_SnapshotFork(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SnapshotFork)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Fleet hot path. BM_FleetDeviceHour is the fleet workload's headline:
+// synthesising one device's full traffic window through the quantile
+// sketches (the calibration cost is paid once per cell and amortises
+// away). items_per_second reports simulated device-hours per host
+// second -- the >= 10k dh/s acceptance bar lives here. BM_SketchMerge
+// is the per-lane reduction cost at the sweep barrier.
+// ---------------------------------------------------------------------
+
+/** Synthesize one device-day through the streaming sketches. */
+void
+BM_FleetDeviceHour(benchmark::State &state)
+{
+    const wl::TrafficMix &mix = *wl::findMix("default");
+    wl::Calibration cal;
+    // Canned calibration in the measured ballpark; the bench must not
+    // depend on testbed boot so it isolates the synthesis hot path.
+    for (auto &m : cal.kinds)
+        m = {25000.0, 0.08, 1800.0, 0.01};
+    const double hours = 24.0;
+    wl::FleetStats stats;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        wl::synthesizeDevice(mix, cal, 42, id++, hours, stats);
+        benchmark::DoNotOptimize(stats.bytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * hours));
+    state.counters["episodes"] = benchmark::Counter(
+        static_cast<double>(stats.episodes[0] + stats.episodes[1] +
+                            stats.episodes[2]));
+}
+BENCHMARK(BM_FleetDeviceHour);
+
+/** Fold one populated lane partial into the fleet total. */
+void
+BM_SketchMerge(benchmark::State &state)
+{
+    sim::QuantileSketch shard;
+    sim::Rng rng(7);
+    for (int i = 0; i < 4096; ++i)
+        shard.sample(rng.uniform() * 1e6);
+    sim::QuantileSketch total;
+    for (auto _ : state) {
+        total.merge(shard);
+        benchmark::DoNotOptimize(total.count());
+    }
+}
+BENCHMARK(BM_SketchMerge);
 
 } // namespace
 

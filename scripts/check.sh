@@ -61,6 +61,12 @@ if [ "$MODE" = "--tsan" ]; then
     "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=cold --jobs=13 \
         > "$BUILD_DIR/snap-cold.txt"
     diff "$BUILD_DIR/snap-warm.txt" "$BUILD_DIR/snap-cold.txt"
+    # The fleet's streaming-reducer lanes are the newest parallel
+    # surface: race-check a sharded population and its lane merges.
+    "$BUILD_DIR"/src/workloads/fleet --devices=600 --hours=4 --jobs=13 \
+        > "$BUILD_DIR/fleet-tsan.txt" 2>/dev/null
+    "$BUILD_DIR"/src/workloads/fleet --devices=600 --hours=4 --jobs=1 \
+        2>/dev/null | diff - "$BUILD_DIR/fleet-tsan.txt"
     echo "tsan: parallel sweep tests + warm/cold identity OK"
     exit 0
 fi
@@ -124,3 +130,34 @@ done
     --faults="mailbox.drop:p=0.2" > "$SNAP_DIR/cold_faults.txt"
 diff "$SNAP_DIR/warm_faults.txt" "$SNAP_DIR/cold_faults.txt"
 echo "snapshot smoke: warm (fork) vs cold artifacts identical"
+
+# Fleet smoke: a small population's report and JSON artifact must be
+# byte-identical serial vs sharded and warm vs cold (the throughput
+# line goes to stderr, so stdout diffs exactly), and the artifact must
+# parse as JSON with the expected sketch series.
+FLEET_DIR="$BUILD_DIR/fleet-smoke"
+mkdir -p "$FLEET_DIR"
+for jobs in 1 4; do
+    "$BUILD_DIR"/src/workloads/fleet --devices=300 --hours=6 \
+        --jobs="$jobs" --report="$FLEET_DIR/warm_$jobs.json" \
+        > "$FLEET_DIR/warm_$jobs.txt" 2>/dev/null
+done
+diff "$FLEET_DIR/warm_1.txt" "$FLEET_DIR/warm_4.txt"
+diff "$FLEET_DIR/warm_1.json" "$FLEET_DIR/warm_4.json"
+"$BUILD_DIR"/src/workloads/fleet --devices=300 --hours=6 --jobs=4 \
+    --sweep=cold --report="$FLEET_DIR/cold_4.json" \
+    > "$FLEET_DIR/cold_4.txt" 2>/dev/null
+diff "$FLEET_DIR/warm_1.txt" "$FLEET_DIR/cold_4.txt"
+diff "$FLEET_DIR/warm_1.json" "$FLEET_DIR/cold_4.json"
+python3 - "$FLEET_DIR/warm_1.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+for series in ("fleet.episode.energy_uj", "fleet.episode.latency_us",
+               "fleet.device.energy_uj"):
+    s = m[series]
+    assert s["count"] > 0, f"{series} is empty"
+    for tail in ("p50", "p90", "p99", "p999"):
+        assert s[tail] is not None, f"{series} missing {tail}"
+    assert s["p50"] <= s["p99"] <= s["max"], f"{series} tails disordered"
+EOF
+echo "fleet smoke: sharded/warm/cold artifacts identical, JSON OK"

@@ -1,0 +1,63 @@
+#include "sim/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace k2 {
+namespace sim {
+
+void
+QuantileSketch::sample(double v)
+{
+    ++count_;
+    // One deterministic rounding per sample; the integer sum is then
+    // independent of accumulation and merge order. Out-of-range and
+    // NaN contributions saturate per sample (llround on them is
+    // undefined), keeping the sum merge-order-independent even for
+    // degenerate streams.
+    constexpr double kLimit = 9.2e18;       // just inside int64 range
+    constexpr std::int64_t kSat = 9200000000000000000ll;
+    const double scaled = v * kSumScale;
+    if (scaled >= kLimit)
+        sumFp_ += kSat;
+    else if (scaled <= -kLimit)
+        sumFp_ -= kSat;
+    else if (scaled == scaled) // skip NaN
+        sumFp_ += std::llround(scaled);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++buckets_[Histogram::bucketIndex(v)];
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    count_ += other.count_;
+    sumFp_ += other.sumFp_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+double
+QuantileSketch::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+QuantileSketch::max() const
+{
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+QuantileSketch::percentile(double p) const
+{
+    return detail::bucketPercentile(buckets_.data(), kBuckets, count_,
+                                    min(), max(), p);
+}
+
+} // namespace sim
+} // namespace k2

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mergeable streaming quantile sketch for fleet-scale aggregation.
+ *
+ * A QuantileSketch summarises an unbounded sample stream in O(1)
+ * memory: count, fixed-point sum, exact min/max, and the same log2
+ * buckets as sim::Histogram. Unlike Histogram (whose double sum makes
+ * merging order-sensitive), every field here merges with an operation
+ * that is exactly associative AND commutative on the host:
+ *
+ *  - count and buckets are integers (modular addition is exact);
+ *  - the sum is kept in 2^-20 fixed point (each sample is rounded
+ *    once at sample() time, then summed in a 128-bit integer, so no
+ *    floating-point rounding depends on merge order);
+ *  - min/max use IEEE min/max, associative and commutative for the
+ *    non-NaN samples the simulator produces.
+ *
+ * Consequence: reducing per-worker partial sketches yields
+ * byte-identical results no matter how samples were sharded or in
+ * which order the partials are merged -- the property the parallel
+ * fleet harness's streaming reducer relies on (DESIGN.md §11).
+ */
+
+#ifndef K2_SIM_SKETCH_H
+#define K2_SIM_SKETCH_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "sim/stats.h"
+
+namespace k2 {
+namespace sim {
+
+class QuantileSketch
+{
+  public:
+    static constexpr std::size_t kBuckets = Histogram::kBuckets;
+
+    /** Fixed-point scale for the sum: 2^20 sub-unit steps. Samples
+     *  are exact to ~1e-6; representable magnitude ~8.8e12 per
+     *  sample, far beyond any simulated energy/latency value. */
+    static constexpr double kSumScale = 1048576.0;
+
+    void sample(double v);
+
+    /**
+     * Fold @p other into this sketch. Exactly associative and
+     * commutative (see file comment); merging shard sketches is
+     * bit-identical to sampling the concatenated stream.
+     */
+    void merge(const QuantileSketch &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return static_cast<double>(sumFp_) / kSumScale; }
+    double mean() const { return count_ ? sum() / count_ : 0.0; }
+
+    /** NaN when empty, like Accumulator. @{ */
+    double min() const;
+    double max() const;
+    /** @} */
+
+    /** Nearest-rank percentile (same semantics as
+     *  Histogram::percentile). */
+    double percentile(double p) const;
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    void reset() { *this = QuantileSketch(); }
+
+    /** Exact state equality (merge property tests). */
+    bool operator==(const QuantileSketch &) const = default;
+
+  private:
+    std::uint64_t count_ = 0;
+    __int128 sumFp_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+} // namespace sim
+} // namespace k2
+
+#endif // K2_SIM_SKETCH_H

@@ -1,28 +1,54 @@
 #include "sim/stats.h"
 
+#include <cmath>
+
 namespace k2 {
 namespace sim {
+
+namespace detail {
+
+double
+bucketPercentile(const std::uint64_t *buckets, std::size_t nbuckets,
+                 std::uint64_t total, double min, double max, double p)
+{
+    if (total == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest rank: the rank-th smallest sample, rank in [1, total].
+    // ceil() (not truncation) so that e.g. p50 of two samples is rank
+    // 1, the lower sample -- a truncated target with a strict '>' test
+    // here used to skip the bucket that contains the ranked sample and
+    // bias every tail percentile one bucket high.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total))));
+    // The rank-1 order statistic is the minimum, which is tracked
+    // exactly; don't degrade it to a bucket boundary.
+    if (rank <= 1)
+        return min;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < nbuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            // Upper boundary of bucket i is 2^(i+1); the last bucket
+            // is unbounded. Clamp into the observed range either way.
+            if (i + 1 >= nbuckets)
+                return max;
+            const double upper = static_cast<double>(1ull << (i + 1));
+            return std::clamp(upper, min, max);
+        }
+    }
+    return max;
+}
+
+} // namespace detail
 
 double
 Histogram::percentile(double p) const
 {
-    const std::uint64_t total = acc_.count();
-    if (total == 0)
-        return 0.0;
-    const auto target = static_cast<std::uint64_t>(p * total);
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-        seen += buckets_[i];
-        if (seen > target) {
-            // Upper boundary of bucket i is 2^(i+1); the last bucket
-            // is unbounded. Clamp to the observed maximum either way.
-            if (i + 1 >= kBuckets)
-                return acc_.max();
-            const double upper = static_cast<double>(1ull << (i + 1));
-            return std::min(upper, acc_.max());
-        }
-    }
-    return acc_.max();
+    return detail::bucketPercentile(buckets_.data(), kBuckets,
+                                    acc_.count(), acc_.min(),
+                                    acc_.max(), p);
 }
 
 } // namespace sim

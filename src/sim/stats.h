@@ -88,6 +88,23 @@ class Accumulator
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+namespace detail {
+
+/**
+ * Nearest-rank percentile over log2 buckets (shared by Histogram and
+ * QuantileSketch).
+ *
+ * Locates the rank-ceil(p*total) smallest sample (@p p clamped into
+ * [0, 1]; rank clamped into [1, total]). Rank 1 is the exact observed
+ * minimum; any other rank reports the upper boundary 2^(i+1) of its
+ * bucket, clamped into [@p min, @p max]. Returns 0 when @p total is 0.
+ */
+double bucketPercentile(const std::uint64_t *buckets,
+                        std::size_t nbuckets, std::uint64_t total,
+                        double min, double max, double p);
+
+} // namespace detail
+
 /**
  * An accumulator with log2-bucketed distribution.
  *
@@ -136,10 +153,13 @@ class Histogram
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
 
     /**
-     * Approximate p-th percentile: the upper boundary 2^(i+1) of the
-     * bucket holding the target sample, clamped to the true observed
-     * maximum (so it never exceeds max(), and an all-zero histogram
-     * reports 0).
+     * Approximate p-th percentile with nearest-rank semantics: the
+     * value of the rank-ceil(p*count) smallest sample, located by
+     * bucket. Rank 1 (p == 0, or any p small enough) is the exact
+     * observed minimum; otherwise the result is the upper boundary
+     * 2^(i+1) of the bucket holding the ranked sample, clamped into
+     * [min(), max()]. An empty histogram reports 0; @p p is clamped
+     * into [0, 1].
      */
     double percentile(double p) const;
 

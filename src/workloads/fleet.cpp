@@ -1,0 +1,392 @@
+#include "workloads/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fault/plan.h"
+#include "obs/sketch_json.h"
+#include "sim/random.h"
+#include "workloads/benchmarks.h"
+#include "workloads/report.h"
+#include "workloads/sweep.h"
+
+namespace k2 {
+namespace wl {
+
+namespace {
+
+/** Devices per sweep cell. Fixed (never derived from the job count)
+ *  so the cell partition -- and with it every RNG stream -- is
+ *  independent of --jobs=N. */
+constexpr std::uint64_t kCellDevices = 128;
+
+const TrafficMix kMixes[] = {
+    {"default", "background mix of a mainstream smart device",
+     {12.0, 20.0, 2.0},
+     {2048, 256, 8192},
+     {65536, 4096, 262144}},
+    {"sensor_heavy", "wearable-style continuous sensing",
+     {60.0, 6.0, 1.0},
+     {4096, 256, 8192},
+     {131072, 2048, 131072}},
+    {"push_heavy", "messaging-centric device, chatty push path",
+     {4.0, 90.0, 2.0},
+     {2048, 256, 8192},
+     {32768, 8192, 131072}},
+    {"sync_heavy", "media device syncing content periodically",
+     {6.0, 10.0, 12.0},
+     {2048, 256, 32768},
+     {65536, 4096, 1048576}},
+    {"idle", "mostly-asleep device, sparse heartbeats",
+     {1.0, 4.0, 0.25},
+     {1024, 256, 4096},
+     {8192, 1024, 32768}},
+};
+
+/**
+ * SplitMix64 finalizer over (seed, id): every device gets its own
+ * decorrelated RNG stream, derived only from fleet seed and device
+ * id -- never from cell or lane placement.
+ */
+std::uint64_t
+deviceSeed(std::uint64_t seed, std::uint64_t id)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Draw a device's parameters from an already-seeded stream. */
+DeviceModel
+drawDevice(sim::Rng &rng, std::uint64_t id)
+{
+    DeviceModel dev;
+    dev.id = id;
+    dev.batteryClass = static_cast<std::uint8_t>(rng.below(3));
+    // Small batteries pay more per byte (worse rails, hotter DRAM);
+    // big devices amortise better.
+    constexpr double kBatteryScale[3] = {1.25, 1.0, 0.85};
+    dev.energyScale = kBatteryScale[dev.batteryClass];
+    for (std::size_t k = 0; k < kFleetKinds; ++k) {
+        // App-mix jitter: how much of each traffic kind this device
+        // sees, and how large its payloads run.
+        dev.rateScale[k] = 0.6 + 0.8 * rng.uniform();
+        dev.sizeScale[k] = 0.7 + 0.6 * rng.uniform();
+    }
+    return dev;
+}
+
+/** Exponential inter-arrival draw (Poisson episode arrivals). */
+double
+expDraw(sim::Rng &rng, double ratePerSec)
+{
+    return -std::log(1.0 - rng.uniform()) / ratePerSec;
+}
+
+/** The measured calibration points per kind: two payload sizes so a
+ *  base + per-byte line can be fitted. */
+constexpr std::uint64_t kCalibBytes[kFleetKinds][2] = {
+    {8192, 131072},  // Sensor: DMA batch totals.
+    {2048, 32768},   // Push: UDP loopback totals.
+    {8192, 131072},  // Sync: ext2 bytes (2 files each).
+};
+
+EpisodeResult
+runCalibEpisode(Testbed &tb, FleetKind kind, std::uint64_t bytes)
+{
+    switch (kind) {
+      case FleetKind::Sensor:
+        return runEpisodeWarm(tb.sys(), tb.proc(), "fleet.sensor",
+                              dmaCopy(tb.dma(), 4096, bytes));
+      case FleetKind::Push:
+        return runEpisodeWarm(tb.sys(), tb.proc(), "fleet.push",
+                              udpLoopback(tb.udp(), 8192, bytes));
+      case FleetKind::Sync:
+        return runEpisodeWarm(tb.sys(), tb.proc(), "fleet.sync",
+                              ext2Sync(tb.fs(), bytes / 2, 2));
+    }
+    K2_PANIC("bad fleet kind");
+}
+
+/** Render one sketch as a report row. */
+std::vector<std::string>
+sketchRow(const std::string &label, const sim::QuantileSketch &sk,
+          int decimals)
+{
+    return {label,
+            std::to_string(sk.count()),
+            fmt(sk.mean(), decimals),
+            fmt(sk.percentile(0.50), decimals),
+            fmt(sk.percentile(0.90), decimals),
+            fmt(sk.percentile(0.99), decimals),
+            fmt(sk.percentile(0.999), decimals),
+            fmt(sk.max(), decimals)};
+}
+
+} // namespace
+
+const char *
+fleetKindName(FleetKind kind)
+{
+    switch (kind) {
+      case FleetKind::Sensor:
+        return "sensor";
+      case FleetKind::Push:
+        return "push";
+      case FleetKind::Sync:
+        return "sync";
+    }
+    return "?";
+}
+
+const TrafficMix *
+findMix(const std::string &name)
+{
+    for (const TrafficMix &mix : kMixes) {
+        if (name == mix.name)
+            return &mix;
+    }
+    return nullptr;
+}
+
+std::string
+mixNames()
+{
+    std::string names;
+    for (const TrafficMix &mix : kMixes) {
+        if (!names.empty())
+            names += ", ";
+        names += mix.name;
+    }
+    return names;
+}
+
+DeviceModel
+makeDevice(std::uint64_t seed, std::uint64_t id, const TrafficMix &mix)
+{
+    (void)mix; // Parameters are mix-relative scales.
+    sim::Rng rng(deviceSeed(seed, id));
+    return drawDevice(rng, id);
+}
+
+Calibration
+calibrate(Testbed &tb)
+{
+    Calibration cal;
+    for (std::size_t k = 0; k < kFleetKinds; ++k) {
+        const auto kind = static_cast<FleetKind>(k);
+        const EpisodeResult lo =
+            runCalibEpisode(tb, kind, kCalibBytes[k][0]);
+        const EpisodeResult hi =
+            runCalibEpisode(tb, kind, kCalibBytes[k][1]);
+        K2_ASSERT(hi.bytes > lo.bytes);
+        EpisodeModel &m = cal.kinds[k];
+        const double db = static_cast<double>(hi.bytes - lo.bytes);
+        m.energyPerByteUj = (hi.energyUj - lo.energyUj) / db;
+        m.energyBaseUj =
+            lo.energyUj -
+            m.energyPerByteUj * static_cast<double>(lo.bytes);
+        const double loUs = sim::toSec(lo.runTime) * 1e6;
+        const double hiUs = sim::toSec(hi.runTime) * 1e6;
+        m.latencyPerByteUs = (hiUs - loUs) / db;
+        m.latencyBaseUs =
+            loUs - m.latencyPerByteUs * static_cast<double>(lo.bytes);
+    }
+    return cal;
+}
+
+void
+FleetStats::merge(const FleetStats &other)
+{
+    episodeEnergyUj.merge(other.episodeEnergyUj);
+    episodeLatencyUs.merge(other.episodeLatencyUs);
+    deviceEnergyUj.merge(other.deviceEnergyUj);
+    for (std::size_t k = 0; k < kFleetKinds; ++k) {
+        kindEnergyUj[k].merge(other.kindEnergyUj[k]);
+        episodes[k] += other.episodes[k];
+    }
+    bytes += other.bytes;
+    devices += other.devices;
+}
+
+void
+synthesizeDevice(const TrafficMix &mix, const Calibration &cal,
+                 std::uint64_t seed, std::uint64_t id, double hours,
+                 FleetStats &into)
+{
+    // One RNG stream per device: the model draw consumes a fixed
+    // prefix, the episode timeline continues on the same stream.
+    sim::Rng rng(deviceSeed(seed, id));
+    const DeviceModel dev = drawDevice(rng, id);
+
+    const double windowSec = hours * 3600.0;
+    double deviceTotalUj = 0.0;
+    for (std::size_t k = 0; k < kFleetKinds; ++k) {
+        const double ratePerSec =
+            mix.perHour[k] * dev.rateScale[k] / 3600.0;
+        if (ratePerSec <= 0.0)
+            continue;
+        const EpisodeModel &m = cal.kinds[k];
+        const std::uint64_t span =
+            mix.maxBytes[k] - mix.minBytes[k] + 1;
+        for (double t = expDraw(rng, ratePerSec); t < windowSec;
+             t += expDraw(rng, ratePerSec)) {
+            const double raw = static_cast<double>(
+                mix.minBytes[k] + rng.below(span));
+            const std::uint64_t payload = std::max<std::uint64_t>(
+                16, static_cast<std::uint64_t>(
+                        std::llround(raw * dev.sizeScale[k])));
+            const double b = static_cast<double>(payload);
+            // Per-episode noise models interference the calibration
+            // episode (run in isolation) cannot see.
+            const double energyUj =
+                (m.energyBaseUj + m.energyPerByteUj * b) *
+                dev.energyScale * (0.95 + 0.1 * rng.uniform());
+            const double latencyUs =
+                (m.latencyBaseUs + m.latencyPerByteUs * b) *
+                (0.95 + 0.1 * rng.uniform());
+            into.episodeEnergyUj.sample(energyUj);
+            into.episodeLatencyUs.sample(latencyUs);
+            into.kindEnergyUj[k].sample(energyUj);
+            ++into.episodes[k];
+            into.bytes += payload;
+            deviceTotalUj += energyUj;
+        }
+    }
+    into.deviceEnergyUj.sample(deviceTotalUj);
+    ++into.devices;
+}
+
+FleetResult
+runFleet(const FleetConfig &cfg)
+{
+    const TrafficMix *mix = findMix(cfg.mix);
+    if (!mix)
+        K2_FATAL("unknown traffic mix '%s' (available: %s)",
+                 cfg.mix.c_str(), mixNames().c_str());
+    if (cfg.devices == 0)
+        K2_FATAL("--devices must be at least 1");
+    if (!(cfg.hours > 0))
+        K2_FATAL("--hours must be positive");
+
+    const std::uint64_t cells =
+        (cfg.devices + kCellDevices - 1) / kCellDevices;
+
+    // Streaming reduction: one partial per lane, merged after the
+    // barrier. Memory is O(lanes), not O(cells) -- a million-device
+    // fleet reduces through the same handful of sketches.
+    struct Lane
+    {
+        FleetStats stats;
+        Calibration cal;
+        bool calibrated = false;
+    };
+    SweepRunner runner(cfg.jobs);
+    std::vector<Lane> lanes(runner.lanes());
+
+    const std::string fixtureKey = "fleet:" + cfg.faults;
+    const auto makeConfig = [&cfg]() {
+        os::K2Config kcfg;
+        if (!cfg.faults.empty())
+            kcfg.faults = fault::FaultPlan::parse(cfg.faults);
+        return kcfg;
+    };
+
+    for (std::uint64_t c = 0; c < cells; ++c) {
+        const std::uint64_t lo = c * kCellDevices;
+        const std::uint64_t hi =
+            std::min(cfg.devices, lo + kCellDevices);
+        runner.submitLane([&cfg, &lanes, &fixtureKey, &makeConfig,
+                           mix, lo, hi](std::size_t laneIdx) {
+            Lane &lane = lanes.at(laneIdx);
+            // Ground the episode models in the full simulation. Warm
+            // mode calibrates once per lane (every fork restores the
+            // identical post-boot state, so per-cell recalibration
+            // would measure the same bytes); cold mode pays a boot +
+            // calibration per cell, the historical cost model -- and
+            // produces the same numbers, which is what the
+            // warm-vs-cold artifact diff checks.
+            if (cfg.sweep == SweepMode::Cold || !lane.calibrated) {
+                Testbed &tb = warmK2(cfg.sweep, fixtureKey, makeConfig);
+                lane.cal = calibrate(tb);
+                lane.calibrated = true;
+            }
+            for (std::uint64_t id = lo; id < hi; ++id)
+                synthesizeDevice(*mix, lane.cal, cfg.seed, id,
+                                 cfg.hours, lane.stats);
+        });
+    }
+    runner.run();
+
+    FleetResult res;
+    res.cells = cells;
+    bool haveCal = false;
+    for (const Lane &lane : lanes) {
+        res.stats.merge(lane.stats);
+        if (lane.calibrated && !haveCal) {
+            res.calibration = lane.cal;
+            haveCal = true;
+        }
+    }
+
+    // Render the report. Deliberately silent about --jobs and
+    // --sweep: the artifact must diff clean across both.
+    const FleetStats &fs = res.stats;
+    std::uint64_t totalEpisodes = 0;
+    for (std::size_t k = 0; k < kFleetKinds; ++k)
+        totalEpisodes += fs.episodes[k];
+
+    std::string text = sim::strPrintf(
+        "fleet: mix=%s (%s)\n"
+        "devices=%llu hours=%.3f seed=%llu device-hours=%.1f\n"
+        "episodes=%llu (sensor %llu, push %llu, sync %llu) "
+        "payload=%.1f MB\n"
+        "fleet energy=%.3f J  mean device power=%.2f uW\n\n",
+        mix->name, mix->summary,
+        static_cast<unsigned long long>(cfg.devices), cfg.hours,
+        static_cast<unsigned long long>(cfg.seed),
+        static_cast<double>(cfg.devices) * cfg.hours,
+        static_cast<unsigned long long>(totalEpisodes),
+        static_cast<unsigned long long>(fs.episodes[0]),
+        static_cast<unsigned long long>(fs.episodes[1]),
+        static_cast<unsigned long long>(fs.episodes[2]),
+        static_cast<double>(fs.bytes) / 1e6,
+        fs.episodeEnergyUj.sum() / 1e6,
+        fs.deviceEnergyUj.sum() /
+            (static_cast<double>(cfg.devices) * cfg.hours * 3600.0));
+
+    Table table({"metric", "count", "mean", "p50", "p90", "p99",
+                 "p99.9", "max"});
+    table.addRow(sketchRow("episode energy (uJ)", fs.episodeEnergyUj,
+                           1));
+    table.addRow(
+        sketchRow("episode latency (us)", fs.episodeLatencyUs, 1));
+    table.addRow(
+        sketchRow("device energy (uJ)", fs.deviceEnergyUj, 0));
+    for (std::size_t k = 0; k < kFleetKinds; ++k)
+        table.addRow(sketchRow(
+            std::string(fleetKindName(static_cast<FleetKind>(k))) +
+                " episode energy (uJ)",
+            fs.kindEnergyUj[k], 1));
+    text += table.render();
+    res.text = std::move(text);
+
+    obs::NamedSketches named = {
+        {"fleet.episode.energy_uj", &fs.episodeEnergyUj},
+        {"fleet.episode.latency_us", &fs.episodeLatencyUs},
+        {"fleet.device.energy_uj", &fs.deviceEnergyUj},
+    };
+    for (std::size_t k = 0; k < kFleetKinds; ++k)
+        named.emplace_back(
+            std::string("fleet.kind.") +
+                fleetKindName(static_cast<FleetKind>(k)) +
+                ".energy_uj",
+            &fs.kindEnergyUj[k]);
+    res.json = obs::sketchJson(named);
+    return res;
+}
+
+} // namespace wl
+} // namespace k2

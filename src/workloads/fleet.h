@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fleet-scale device population simulation with streaming percentile
+ * aggregation (ROADMAP item 1, DESIGN.md §11).
+ *
+ * A fleet run simulates a *population* of K2 devices over a time
+ * window, driven by the ephemeral background traffic that dominates
+ * smart-device activity: sensor batches (DMA), push/heartbeat bursts
+ * (UDP), and periodic cloud sync (ext2 + UDP). It is a two-level
+ * model:
+ *
+ *  1. Grounding: each sweep cell forks a warm testbed
+ *     (wl::warmFixture) and *measures* the episode kinds on the full
+ *     K2 simulation at two payload sizes each, yielding a per-kind
+ *     linear energy/latency model (Calibration). The snapshot layer's
+ *     warm==cold guarantee makes these measurements byte-identical in
+ *     either sweep mode.
+ *
+ *  2. Population synthesis: devices are drawn from a seeded
+ *     generator -- per-device parameter jitter over app mix, arrival
+ *     rates, payload scale, and battery class, around a named
+ *     TrafficMix. Each device's episode timeline over the window is
+ *     synthesised from its own id-derived RNG stream (independent of
+ *     how devices are sharded into cells) and priced through the
+ *     measured calibration; every episode's energy and latency
+ *     stream into QuantileSketches.
+ *
+ * Aggregation is memory-bounded and order-independent: cells
+ * accumulate into per-lane FleetStats partials (SweepRunner's
+ * streaming-reducer mode), which fold with QuantileSketch::merge --
+ * exactly associative and commutative -- so the fleet report is
+ * byte-identical at any --jobs=N and between --sweep=warm|cold.
+ */
+
+#ifndef K2_WORKLOADS_FLEET_H
+#define K2_WORKLOADS_FLEET_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/sketch.h"
+#include "sim/stats.h"
+#include "workloads/warm.h"
+
+namespace k2 {
+namespace wl {
+
+/** The background episode kinds of the fleet traffic model. */
+enum class FleetKind : std::uint8_t
+{
+    Sensor = 0, //!< Sensor batch drained over DMA.
+    Push,       //!< Push notification / heartbeat burst over UDP.
+    Sync,       //!< Periodic cloud sync persisted through ext2.
+};
+constexpr std::size_t kFleetKinds = 3;
+const char *fleetKindName(FleetKind kind);
+
+/**
+ * A named traffic mix: fleet-wide base arrival rates and payload
+ * ranges per episode kind. Individual devices jitter around these.
+ */
+struct TrafficMix
+{
+    const char *name;
+    const char *summary;
+    double perHour[kFleetKinds];      //!< Mean episodes per hour.
+    std::uint64_t minBytes[kFleetKinds];
+    std::uint64_t maxBytes[kFleetKinds];
+};
+
+/** The mix registry. @{ */
+const TrafficMix *findMix(const std::string &name); //!< Null if unknown.
+std::string mixNames(); //!< Comma-separated, for usage text.
+/** @} */
+
+/**
+ * One device's sampled parameters: per-kind arrival-rate and payload
+ * jitter around the mix, plus a battery class scaling energy cost
+ * (smaller devices pay proportionally more per byte moved).
+ */
+struct DeviceModel
+{
+    std::uint64_t id = 0;
+    std::uint8_t batteryClass = 0;       //!< 0 small, 1 medium, 2 large.
+    double energyScale = 1.0;            //!< Battery-class cost factor.
+    double rateScale[kFleetKinds] = {};  //!< Arrival-rate jitter.
+    double sizeScale[kFleetKinds] = {};  //!< Payload jitter.
+};
+
+/** Deterministically derive device @p id's model from the fleet seed;
+ *  independent of how devices are sharded into cells. */
+DeviceModel makeDevice(std::uint64_t seed, std::uint64_t id,
+                       const TrafficMix &mix);
+
+/**
+ * Per-kind measured episode cost: linear in payload bytes, fitted
+ * from two full-simulation measurements on a (warm-forked) testbed.
+ */
+struct EpisodeModel
+{
+    double energyBaseUj = 0;    //!< Wakeup + idle-tail energy.
+    double energyPerByteUj = 0;
+    double latencyBaseUs = 0;
+    double latencyPerByteUs = 0;
+};
+
+struct Calibration
+{
+    std::array<EpisodeModel, kFleetKinds> kinds{};
+};
+
+/** Measure the episode kinds on @p tb (quiesced, post-boot). */
+Calibration calibrate(Testbed &tb);
+
+/**
+ * Streaming aggregate over any shard of the fleet. All fields merge
+ * exactly (associative + commutative), so shard partials fold into
+ * the fleet total in any order with byte-identical results.
+ */
+struct FleetStats
+{
+    sim::QuantileSketch episodeEnergyUj; //!< Per-episode energy.
+    sim::QuantileSketch episodeLatencyUs;
+    sim::QuantileSketch deviceEnergyUj;  //!< Per-device window total.
+    std::array<sim::QuantileSketch, kFleetKinds> kindEnergyUj;
+    std::uint64_t episodes[kFleetKinds] = {};
+    std::uint64_t bytes = 0;             //!< Useful payload bytes.
+    std::uint64_t devices = 0;
+
+    void merge(const FleetStats &other);
+};
+
+/**
+ * Synthesise device @p id's episode timeline over @p hours and
+ * stream it into @p into. Pure host computation (the simulation cost
+ * was paid once, in @p cal); this is the fleet hot path.
+ */
+void synthesizeDevice(const TrafficMix &mix, const Calibration &cal,
+                      std::uint64_t seed, std::uint64_t id,
+                      double hours, FleetStats &into);
+
+struct FleetConfig
+{
+    std::uint64_t devices = 1000;
+    double hours = 24.0;
+    std::string mix = "default";
+    std::uint64_t seed = 42;
+    std::string faults;           //!< FaultPlan spec; empty = none.
+    SweepMode sweep = SweepMode::Warm;
+    unsigned jobs = 0;            //!< 0 = hardware concurrency.
+};
+
+struct FleetResult
+{
+    FleetStats stats;
+    Calibration calibration;
+    std::uint64_t cells = 0;
+    std::string text; //!< Rendered report (deterministic).
+    std::string json; //!< Sketch JSON artifact (deterministic).
+};
+
+/**
+ * Run the whole fleet: shard devices into cells, calibrate +
+ * synthesise each cell on the sweep runner's reduction lanes, fold
+ * the lane partials, and render the report. Deterministic for a
+ * given config: byte-identical text/json at any jobs count and in
+ * both sweep modes.
+ */
+FleetResult runFleet(const FleetConfig &cfg);
+
+} // namespace wl
+} // namespace k2
+
+#endif // K2_WORKLOADS_FLEET_H

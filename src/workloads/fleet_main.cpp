@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The `fleet` binary: fleet-scale device population simulation.
+ *
+ *   fleet [--devices=N] [--hours=H] [--mix=NAME] [--seed=N]
+ *         [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
+ *         [--report=FILE]
+ *
+ * Simulates N devices' background traffic over H hours (see
+ * DESIGN.md §11): each sweep cell grounds per-kind episode costs by
+ * measuring them on a warm-forked K2 testbed, then synthesises the
+ * device population's episode timelines through mergeable quantile
+ * sketches. Prints fleet-level energy/latency distributions with
+ * p50/p90/p99/p99.9 tails; --report additionally writes the sketches
+ * as a JSON artifact.
+ *
+ * Both stdout and the report file are byte-identical at any --jobs=N
+ * and between --sweep=warm|cold; the host-side throughput line
+ * (simulated device-hours per second) goes to stderr so artifacts
+ * stay diffable.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fault/plan.h"
+#include "workloads/fleet.h"
+#include "workloads/report.h"
+#include "workloads/sweep.h"
+#include "workloads/warm.h"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fleet [--devices=N] [--hours=H] [--mix=NAME] "
+        "[--seed=N]\n"
+        "             [--jobs=N] [--sweep=warm|cold] "
+        "[--faults=SPEC] [--report=FILE]\n"
+        "mixes: %s\n",
+        k2::wl::mixNames().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace k2;
+
+    wl::FleetConfig cfg;
+    std::string reportFile;
+    try {
+        cfg.jobs = wl::parseJobsFlag(argc, argv);
+        cfg.sweep = wl::parseSweepFlag(argc, argv);
+        cfg.faults = wl::parseFaultsFlag(argc, argv);
+        cfg.devices = wl::parseUintFlag(argc, argv, "--devices=",
+                                        cfg.devices, 1, 100000000);
+        cfg.hours = wl::parseFloatFlag(argc, argv, "--hours=",
+                                       cfg.hours, 1e6);
+        cfg.mix = wl::parseStringFlag(argc, argv, "--mix=", cfg.mix);
+        cfg.seed =
+            wl::parseUintFlag(argc, argv, "--seed=", cfg.seed, 0,
+                              UINT64_MAX);
+        reportFile =
+            wl::parseStringFlag(argc, argv, "--report=", "");
+        if (argc != 1) {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[1]);
+            usage();
+            return 2;
+        }
+        if (!wl::findMix(cfg.mix)) {
+            std::fprintf(stderr, "unknown mix '%s'\n",
+                         cfg.mix.c_str());
+            usage();
+            return 2;
+        }
+        // Validate the fault spec up front so a typo fails fast
+        // instead of surfacing from inside a sweep cell.
+        if (!cfg.faults.empty())
+            (void)fault::FaultPlan::parse(cfg.faults);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage();
+        return 2;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    wl::FleetResult res;
+    try {
+        res = wl::runFleet(cfg);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fleet failed: %s\n", e.what());
+        return 1;
+    }
+    const double hostSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    wl::banner("fleet population simulation");
+    std::fputs(res.text.c_str(), stdout);
+
+    if (!reportFile.empty()) {
+        std::ofstream os(reportFile, std::ios::binary);
+        os << res.json;
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         reportFile.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "report: %s\n", reportFile.c_str());
+    }
+
+    // Host throughput to stderr: wall-clock facts must not pollute
+    // the deterministic artifact.
+    const double deviceHours =
+        static_cast<double>(cfg.devices) * cfg.hours;
+    std::fprintf(stderr,
+                 "fleet: %.0f device-hours in %.2f s host time "
+                 "(%.0f dh/s, %llu cells, %s)\n",
+                 deviceHours, hostSec,
+                 hostSec > 0 ? deviceHours / hostSec : 0.0,
+                 static_cast<unsigned long long>(res.cells),
+                 wl::sweepModeName(cfg.sweep));
+    return 0;
+}

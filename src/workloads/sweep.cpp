@@ -15,7 +15,7 @@ namespace wl {
 
 struct SweepRunner::CellState
 {
-    Cell fn;
+    LaneCell fn;               //!< Plain cells wrap to ignore the lane.
     std::string out;           //!< Captured inform() text.
     std::string err;           //!< Captured warn()/trace() text.
     std::exception_ptr error;  //!< Set if the cell threw.
@@ -39,19 +39,26 @@ SweepRunner::size() const
 std::size_t
 SweepRunner::submit(Cell cell)
 {
+    return submitLane(
+        [fn = std::move(cell)](std::size_t) { fn(); });
+}
+
+std::size_t
+SweepRunner::submitLane(LaneCell cell)
+{
     cells_.push_back(CellState{std::move(cell), {}, {}, nullptr});
     return cells_.size() - 1;
 }
 
 void
-SweepRunner::runCell(CellState &cell)
+SweepRunner::runCell(CellState &cell, std::size_t lane)
 {
     // Thread-confined log configuration: the cell's engine(s) log at
     // cellLevel_ into the cell's private buffers, so concurrent cells
     // never share the log knob or interleave output.
     sim::ScopedLogConfig scope(cellLevel_, &cell.out, &cell.err);
     try {
-        cell.fn();
+        cell.fn(lane);
     } catch (...) {
         cell.error = std::current_exception();
     }
@@ -71,7 +78,7 @@ SweepRunner::run()
         // cell in submission order (still under capture, so the
         // emitted bytes match the parallel path exactly).
         for (CellState &cell : cells_)
-            runCell(cell);
+            runCell(cell, 0);
     } else {
         // Work-stealing pool: cells are dealt round-robin into
         // per-worker deques; a worker pops from the front of its own
@@ -113,7 +120,7 @@ SweepRunner::run()
                 }
                 if (!found)
                     return; // all queues drained; no new work appears
-                runCell(cells_[idx]);
+                runCell(cells_[idx], self);
             }
         };
 
@@ -139,56 +146,126 @@ SweepRunner::run()
     }
     std::fflush(stdout);
 
+    // Surface failures: identify the first failed cell by submission
+    // index, log how many further failures are being suppressed, then
+    // rethrow wrapped with the cell index so the caller can tell
+    // *which* configuration blew up.
     std::exception_ptr first;
-    for (CellState &cell : cells_) {
-        if (cell.error) {
-            first = cell.error;
-            break;
+    std::size_t firstIdx = 0;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (!cells_[i].error)
+            continue;
+        ++failed;
+        if (!first) {
+            first = cells_[i].error;
+            firstIdx = i;
         }
     }
     cells_.clear();
-    if (first)
+    if (!first)
+        return;
+    if (failed > 1)
+        sim::warnImpl("sweep: %zu cell(s) failed; reporting cell %zu "
+                      "only, suppressing %zu more",
+                      failed, firstIdx, failed - 1);
+    try {
         std::rethrow_exception(first);
+    } catch (const sim::FatalError &e) {
+        throw sim::FatalError(sim::strPrintf(
+            "sweep cell %zu: %s", firstIdx, e.what()));
+    } catch (const std::exception &e) {
+        throw std::runtime_error(sim::strPrintf(
+            "sweep cell %zu: %s", firstIdx, e.what()));
+    }
+    // Non-std exceptions propagate unwrapped from the rethrow above.
+}
+
+bool
+consumeFlag(int &argc, char **argv, const char *flag,
+            std::string &value)
+{
+    const std::size_t n = std::strlen(flag);
+    bool found = false;
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], flag, n) == 0) {
+            value = argv[i] + n; // last occurrence wins
+            found = true;
+        } else {
+            argv[keep++] = argv[i];
+        }
+    }
+    argc = keep;
+    return found;
 }
 
 unsigned
 parseJobsFlag(int &argc, char **argv, unsigned fallback)
 {
-    for (int i = 1; i < argc; ++i) {
-        static constexpr const char kFlag[] = "--jobs=";
-        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
-            continue;
-        const char *value = argv[i] + sizeof(kFlag) - 1;
-        char *end = nullptr;
-        const unsigned long n = std::strtoul(value, &end, 10);
-        if (end == value || *end != '\0' || n == 0 || n > 4096)
-            K2_FATAL("--jobs expects an integer in [1, 4096], got '%s'",
-                     value);
-        for (int j = i; j + 1 < argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        return static_cast<unsigned>(n);
-    }
-    return fallback;
+    std::string value;
+    if (!consumeFlag(argc, argv, "--jobs=", value))
+        return fallback;
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n == 0 || n > 4096)
+        K2_FATAL("--jobs expects an integer in [1, 4096], got '%s'",
+                 value.c_str());
+    return static_cast<unsigned>(n);
 }
 
 std::string
 parseFaultsFlag(int &argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        static constexpr const char kFlag[] = "--faults=";
-        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
-            continue;
-        const std::string spec = argv[i] + sizeof(kFlag) - 1;
-        if (spec.empty())
-            K2_FATAL("--faults expects a fault spec, e.g. "
-                     "--faults=mailbox.drop:p=1e-3");
-        for (int j = i; j + 1 < argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        return spec;
-    }
-    return {};
+    std::string spec;
+    if (consumeFlag(argc, argv, "--faults=", spec) && spec.empty())
+        K2_FATAL("--faults expects a fault spec, e.g. "
+                 "--faults=mailbox.drop:p=1e-3");
+    return spec;
+}
+
+std::uint64_t
+parseUintFlag(int &argc, char **argv, const char *flag,
+              std::uint64_t fallback, std::uint64_t lo,
+              std::uint64_t hi)
+{
+    std::string value;
+    if (!consumeFlag(argc, argv, flag, value))
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < lo || n > hi)
+        K2_FATAL("%s expects an integer in [%llu, %llu], got '%s'",
+                 flag, static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi), value.c_str());
+    return n;
+}
+
+double
+parseFloatFlag(int &argc, char **argv, const char *flag,
+               double fallback, double hi)
+{
+    std::string value;
+    if (!consumeFlag(argc, argv, flag, value))
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !(v > 0) || v > hi)
+        K2_FATAL("%s expects a number in (0, %g], got '%s'", flag, hi,
+                 value.c_str());
+    return v;
+}
+
+std::string
+parseStringFlag(int &argc, char **argv, const char *flag,
+                const std::string &fallback)
+{
+    std::string value;
+    if (!consumeFlag(argc, argv, flag, value))
+        return fallback;
+    if (value.empty())
+        K2_FATAL("%s expects a non-empty value", flag);
+    return value;
 }
 
 } // namespace wl

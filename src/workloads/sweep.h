@@ -36,6 +36,7 @@
 #define K2_WORKLOADS_SWEEP_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,6 +54,21 @@ class SweepRunner
     using Cell = std::function<void()>;
 
     /**
+     * A streaming-reducer cell: like Cell, but handed the index of
+     * the reduction lane it runs on (see lanes()). Cells on the same
+     * lane never run concurrently, so a lane cell may accumulate into
+     * a caller-owned per-lane partial (a QuantileSketch, a counter
+     * set, ...) without synchronisation. After run(), the caller
+     * folds the lane partials together -- O(lanes) reduction state
+     * instead of O(cells) result slots. Byte-identical output at any
+     * --jobs=N additionally requires the fold operation to be
+     * associative and commutative (sim::QuantileSketch::merge is,
+     * exactly); which lane a given cell lands on is scheduling-
+     * dependent.
+     */
+    using LaneCell = std::function<void(std::size_t lane)>;
+
+    /**
      * @param jobs Worker thread count; 0 selects the host's hardware
      *        concurrency. 1 runs cells inline on the calling thread.
      */
@@ -63,6 +79,14 @@ class SweepRunner
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Number of reduction lanes (== jobs()): worker w executes its
+     * cells with lane index w, the serial path uses lane 0. Stable
+     * for the runner's lifetime, so per-lane partials can be sized
+     * before submission.
+     */
+    std::size_t lanes() const { return jobs_; }
+
+    /**
      * Queue a cell. Cells are independent; they may run on any worker
      * in any order, but captured logs and error reporting follow
      * submission order.
@@ -71,11 +95,18 @@ class SweepRunner
      */
     std::size_t submit(Cell cell);
 
+    /** Queue a streaming-reducer cell (see LaneCell). */
+    std::size_t submitLane(LaneCell cell);
+
     /**
      * Run all submitted cells to completion and replay their captured
      * log output in submission order (cell stdout text to stdout,
-     * stderr text to stderr). Rethrows the first failed cell's
-     * exception (by submission order) after every cell has finished.
+     * stderr text to stderr). After every cell has finished, the
+     * first failed cell's exception (by submission order) is rethrown
+     * wrapped with its cell index; when several cells failed, the
+     * count of additionally suppressed failures is logged as a
+     * warning first. FatalError stays FatalError; other exceptions
+     * rethrow as std::runtime_error carrying the original message.
      * Afterwards the runner is empty and may be reused.
      */
     void run();
@@ -90,7 +121,7 @@ class SweepRunner
   private:
     struct CellState;
 
-    void runCell(CellState &cell);
+    void runCell(CellState &cell, std::size_t lane);
 
     unsigned jobs_;
     sim::LogLevel cellLevel_;
@@ -98,7 +129,27 @@ class SweepRunner
 };
 
 /**
- * Parse and strip a leading `--jobs=N` flag from argv.
+ * Strip every `--NAME=VALUE` occurrence of one flag from argv, with
+ * conventional last-wins semantics.
+ *
+ * All sweep flag parsers (and any binary-specific ones) are built on
+ * this helper so repeated flags behave uniformly: `--jobs=4 --jobs=8`
+ * means 8, and no occurrence is left behind in argv for downstream
+ * argument handling to trip on.
+ *
+ * @param argc In/out argument count; every occurrence is removed.
+ * @param argv In/out argument vector (only pointers are shifted; the
+ *        argument strings themselves are untouched).
+ * @param flag The flag prefix including '=', e.g. "--jobs=".
+ * @param value Out: the value of the last occurrence; untouched when
+ *        the flag is absent.
+ * @return True when at least one occurrence was found.
+ */
+bool consumeFlag(int &argc, char **argv, const char *flag,
+                 std::string &value);
+
+/**
+ * Parse and strip a `--jobs=N` flag from argv (last occurrence wins).
  *
  * @param argc In/out argument count; the flag is removed when found.
  * @param argv In/out argument vector.
@@ -110,7 +161,8 @@ class SweepRunner
 unsigned parseJobsFlag(int &argc, char **argv, unsigned fallback = 0);
 
 /**
- * Parse and strip a leading `--faults=SPEC` flag from argv.
+ * Parse and strip a `--faults=SPEC` flag from argv (last occurrence
+ * wins).
  *
  * SPEC is the fault::FaultPlan::parse() syntax, e.g.
  * "mailbox.drop:p=1e-3,dma.err:at=2s". The spec string itself is
@@ -118,6 +170,30 @@ unsigned parseJobsFlag(int &argc, char **argv, unsigned fallback = 0);
  * build its own FaultPlan; validation happens at plan parse time.
  */
 std::string parseFaultsFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip an unsigned integer flag, e.g. "--devices=" (last
+ * occurrence wins). The value must lie in [@p lo, @p hi].
+ * @throws sim::FatalError on a malformed or out-of-range value.
+ */
+std::uint64_t parseUintFlag(int &argc, char **argv, const char *flag,
+                            std::uint64_t fallback, std::uint64_t lo,
+                            std::uint64_t hi);
+
+/**
+ * Parse and strip a positive floating-point flag, e.g. "--hours="
+ * (last occurrence wins). The value must lie in (0, @p hi].
+ * @throws sim::FatalError on a malformed or out-of-range value.
+ */
+double parseFloatFlag(int &argc, char **argv, const char *flag,
+                      double fallback, double hi);
+
+/**
+ * Parse and strip a non-empty string flag, e.g. "--mix=" (last
+ * occurrence wins).
+ */
+std::string parseStringFlag(int &argc, char **argv, const char *flag,
+                            const std::string &fallback);
 
 } // namespace wl
 } // namespace k2

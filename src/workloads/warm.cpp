@@ -1,8 +1,7 @@
 #include "workloads/warm.h"
 
-#include <cstring>
-
 #include "sim/log.h"
+#include "workloads/sweep.h"
 
 namespace k2 {
 namespace wl {
@@ -16,25 +15,15 @@ sweepModeName(SweepMode mode)
 SweepMode
 parseSweepFlag(int &argc, char **argv, SweepMode fallback)
 {
-    for (int i = 1; i < argc; ++i) {
-        static constexpr const char kFlag[] = "--sweep=";
-        if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0)
-            continue;
-        const char *value = argv[i] + sizeof(kFlag) - 1;
-        SweepMode mode;
-        if (std::strcmp(value, "cold") == 0)
-            mode = SweepMode::Cold;
-        else if (std::strcmp(value, "warm") == 0)
-            mode = SweepMode::Warm;
-        else
-            K2_FATAL("--sweep expects 'cold' or 'warm', got '%s'",
-                     value);
-        for (int j = i; j + 1 < argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        return mode;
-    }
-    return fallback;
+    std::string value;
+    if (!consumeFlag(argc, argv, "--sweep=", value))
+        return fallback;
+    if (value == "cold")
+        return SweepMode::Cold;
+    if (value == "warm")
+        return SweepMode::Warm;
+    K2_FATAL("--sweep expects 'cold' or 'warm', got '%s'",
+             value.c_str());
 }
 
 Testbed &

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * QuantileSketch unit + property tests. The load-bearing property is
+ * that merge() is *exactly* associative and commutative -- the fleet
+ * workload's byte-identical-at-any-jobs guarantee rests on it -- so
+ * the merge tests assert operator== (field-exact), not tolerance.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sketch.h"
+#include "sim/stats.h"
+
+using k2::sim::Histogram;
+using k2::sim::QuantileSketch;
+
+namespace {
+
+// Deterministic value stream with a heavy tail, exercising many
+// buckets and non-integer fixed-point rounding.
+std::vector<double>
+makeStream(std::uint64_t seed, std::size_t n)
+{
+    std::mt19937_64 gen(seed);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = u(gen);
+        out.push_back(std::exp(14.0 * x) * (0.5 + u(gen)));
+    }
+    return out;
+}
+
+QuantileSketch
+sketchOf(const std::vector<double> &vals)
+{
+    QuantileSketch s;
+    for (double v : vals)
+        s.sample(v);
+    return s;
+}
+
+} // namespace
+
+TEST(QuantileSketch, EmptyState)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, BasicMoments)
+{
+    QuantileSketch s;
+    s.sample(1.0);
+    s.sample(2.0);
+    s.sample(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(QuantileSketch, PercentileMatchesHistogramSemantics)
+{
+    // Same nearest-rank rule as Histogram (shared implementation):
+    // the median of {1, 2^20} is 1's exact value.
+    QuantileSketch s;
+    s.sample(1.0);
+    s.sample(static_cast<double>(1u << 20));
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), static_cast<double>(1u << 20));
+
+    Histogram h;
+    h.sample(1.0);
+    h.sample(static_cast<double>(1u << 20));
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), h.percentile(p)) << p;
+}
+
+TEST(QuantileSketch, MergeEqualsStreaming)
+{
+    // Splitting one stream into shards and merging the shard sketches
+    // reproduces the single-stream sketch exactly.
+    const auto vals = makeStream(7, 4096);
+    const QuantileSketch whole = sketchOf(vals);
+    for (std::size_t shards : {2u, 3u, 13u}) {
+        std::vector<QuantileSketch> parts(shards);
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            parts[i % shards].sample(vals[i]);
+        QuantileSketch folded;
+        for (const auto &p : parts)
+            folded.merge(p);
+        EXPECT_TRUE(folded == whole) << shards << " shards";
+    }
+}
+
+TEST(QuantileSketch, MergeAssociativeAndCommutative)
+{
+    // Property test: any parenthesisation and any order of the same
+    // shard set produces a field-exact identical sketch.
+    const auto a = sketchOf(makeStream(1, 1000));
+    const auto b = sketchOf(makeStream(2, 37));
+    const auto c = sketchOf(makeStream(3, 2048));
+
+    QuantileSketch ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+
+    QuantileSketch bc = b;
+    bc.merge(c);
+    QuantileSketch a_bc = a;
+    a_bc.merge(bc);
+
+    QuantileSketch cba = c;
+    cba.merge(b);
+    cba.merge(a);
+
+    EXPECT_TRUE(ab_c == a_bc);
+    EXPECT_TRUE(ab_c == cba);
+
+    // Randomised orders over more shards.
+    std::vector<QuantileSketch> shards;
+    for (std::uint64_t s = 0; s < 8; ++s)
+        shards.push_back(sketchOf(makeStream(100 + s, 64 * (s + 1))));
+    QuantileSketch fwd;
+    for (const auto &s : shards)
+        fwd.merge(s);
+    std::mt19937_64 gen(99);
+    for (int trial = 0; trial < 16; ++trial) {
+        std::vector<std::size_t> order(shards.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::shuffle(order.begin(), order.end(), gen);
+        QuantileSketch perm;
+        for (std::size_t i : order)
+            perm.merge(shards[i]);
+        EXPECT_TRUE(perm == fwd) << "trial " << trial;
+    }
+}
+
+TEST(QuantileSketch, MergeWithEmptyIsIdentity)
+{
+    const auto s = sketchOf(makeStream(5, 100));
+    QuantileSketch left = s;
+    left.merge(QuantileSketch{});
+    EXPECT_TRUE(left == s);
+    QuantileSketch right;
+    right.merge(s);
+    EXPECT_TRUE(right == s);
+}
+
+TEST(QuantileSketch, HugeAndDegenerateSamplesStayFinite)
+{
+    QuantileSketch s;
+    s.sample(1e300); // saturates the fixed-point sum, lands top bucket
+    s.sample(0.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1e300);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 1e300);
+    // Saturated sums still merge exactly.
+    QuantileSketch t = s;
+    t.merge(s);
+    QuantileSketch u;
+    u.merge(s);
+    u.merge(s);
+    EXPECT_TRUE(t == u);
+}
+
+TEST(QuantileSketch, ResetClears)
+{
+    auto s = sketchOf(makeStream(11, 50));
+    s.reset();
+    EXPECT_TRUE(s == QuantileSketch{});
+    EXPECT_EQ(s.count(), 0u);
+}

@@ -156,10 +156,54 @@ TEST(Histogram, ZeroAndSubUnitSamples)
     h.sample(0.0);
     h.sample(0.5);
     EXPECT_EQ(h.bucket(0), 2u);
-    // All samples below 2: the percentile reports at most the observed
-    // maximum, never a fabricated bucket boundary above it.
-    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.5);
+    // Nearest-rank: the median of two samples is the lower one (rank
+    // ceil(0.5 * 2) = 1), which is tracked exactly as the min.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
     EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.5);
+}
+
+TEST(Histogram, NearestRankTwoSampleMedian)
+{
+    // Regression: the median of {1, 2^20} is 1, not 2^20. The old
+    // truncated-target / strictly-greater cumulative scan skipped 1's
+    // bucket entirely and reported the top sample as the median.
+    Histogram h;
+    h.sample(1.0);
+    h.sample(static_cast<double>(1u << 20));
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+    // p=1 is the max-rank order statistic.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), static_cast<double>(1u << 20));
+}
+
+TEST(Histogram, NearestRankEdgeCases)
+{
+    Histogram h;
+    h.sample(3.0);
+    h.sample(5.0);
+    h.sample(100.0);
+    // p=0 (and any p whose rank rounds to 1) is the exact minimum.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.2), 3.0);
+    // rank ceil(0.5*3) = 2 -> 5.0's bucket [4,8); reported as the
+    // bucket's upper edge clamped into the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+    // Out-of-range p clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(7.0), 100.0);
+}
+
+TEST(Histogram, NearestRankSingleBucket)
+{
+    // All mass in one bucket: every percentile collapses into the
+    // observed [min, max] range, min for rank 1 and the clamped edge
+    // otherwise.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(40.0 + static_cast<double>(i % 8)); // bucket [32,64)
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 47.0);  // upper edge 64 clamped
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 47.0);
 }
 
 TEST(Histogram, ExactPowersOfTwo)

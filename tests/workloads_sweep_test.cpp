@@ -164,6 +164,75 @@ TEST(SweepRunner, RethrowsFirstFailureBySubmissionIndex)
     EXPECT_TRUE(ran);
 }
 
+TEST(SweepRunner, FailureIdentifiesCellIndex)
+{
+    // Regression: run() used to rethrow the first failure verbatim,
+    // leaving the user to guess which of N cells died. The rethrown
+    // error must name the failing cell's submission index.
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet);
+    wl::SweepRunner runner(2);
+    runner.submit([]() {});
+    runner.submit([]() { K2_FATAL("boom"); });
+    runner.submit([]() {});
+    try {
+        runner.run();
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("sweep cell 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    }
+    // Non-FatalError exceptions get the same wrapping.
+    runner.submit([]() { throw std::runtime_error("plain"); });
+    try {
+        runner.run();
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("sweep cell 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("plain"), std::string::npos) << what;
+    }
+}
+
+TEST(SweepRunner, MultipleFailuresWarnAboutSuppression)
+{
+    std::string err;
+    {
+        sim::ScopedLogConfig capture(sim::LogLevel::Normal, nullptr,
+                                     &err);
+        wl::SweepRunner runner(4);
+        runner.setCellLogLevel(sim::LogLevel::Quiet);
+        for (int i = 0; i < 3; ++i)
+            runner.submit([i]() { K2_FATAL("cell %d died", i); });
+        EXPECT_THROW(runner.run(), sim::FatalError);
+    }
+    // The count of additional failures is logged, not silently lost.
+    EXPECT_NE(err.find("3 cell(s) failed"), std::string::npos) << err;
+    EXPECT_NE(err.find("suppressing 2"), std::string::npos) << err;
+}
+
+TEST(SweepRunner, LaneCellsPartitionWorkWithoutRaces)
+{
+    // Streaming-reducer mode: lane-indexed cells accumulate into
+    // unsynchronized per-lane partials; the fold over lanes must see
+    // every cell exactly once regardless of scheduling.
+    for (unsigned jobs : {1u, 4u, 13u}) {
+        wl::SweepRunner runner(jobs);
+        ASSERT_EQ(runner.lanes(), runner.jobs());
+        std::vector<std::uint64_t> partial(runner.lanes(), 0);
+        for (std::uint64_t i = 1; i <= 100; ++i) {
+            runner.submitLane([&partial, i](std::size_t lane) {
+                partial[lane] += i; // safe: lanes never run concurrently
+            });
+        }
+        runner.run();
+        std::uint64_t total = 0;
+        for (std::uint64_t p : partial)
+            total += p;
+        EXPECT_EQ(total, 5050u) << jobs << " jobs";
+    }
+}
+
 TEST(SweepRunner, TwoConcurrentEnginesAtDifferentLogLevels)
 {
     // Regression for the old process-global log level: two engines on
@@ -229,6 +298,122 @@ TEST(ParseJobsFlag, RejectsMalformedValues)
         EXPECT_THROW(wl::parseJobsFlag(argc, argv.data()),
                      sim::FatalError)
             << bad;
+    }
+}
+
+TEST(ParseJobsFlag, DuplicateOccurrencesLastWinsAndAllStripped)
+{
+    // Regression: the old parser took the *first* occurrence and left
+    // the duplicate in argv, so `--jobs=4 --jobs=8` ran with 4 jobs
+    // and then tripped the unknown-argument check (or worse, was
+    // silently ignored). Conventional CLI semantics: last one wins,
+    // and every occurrence is consumed.
+    std::vector<std::string> storage = {"bench", "--jobs=4", "--seed=7",
+                                        "--jobs=8"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+
+    EXPECT_EQ(wl::parseJobsFlag(argc, argv.data()), 8u);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "bench");
+    EXPECT_STREQ(argv[1], "--seed=7");
+}
+
+TEST(ConsumeFlag, LastWinsStripsAllPreservesOrder)
+{
+    std::vector<std::string> storage = {"prog", "--x=1", "a", "--x=2",
+                                        "b",    "--x=3"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+
+    std::string value;
+    EXPECT_TRUE(wl::consumeFlag(argc, argv.data(), "--x=", value));
+    EXPECT_EQ(value, "3");
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "a");
+    EXPECT_STREQ(argv[2], "b");
+
+    // Absent flag: argv untouched, value untouched.
+    value = "sentinel";
+    EXPECT_FALSE(wl::consumeFlag(argc, argv.data(), "--y=", value));
+    EXPECT_EQ(value, "sentinel");
+    EXPECT_EQ(argc, 3);
+}
+
+TEST(ParseTypedFlags, UintFloatString)
+{
+    std::vector<std::string> storage = {"fleet", "--devices=500",
+                                        "--hours=0.25", "--mix=idle"};
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+
+    EXPECT_EQ(wl::parseUintFlag(argc, argv.data(), "--devices=", 7, 1,
+                                100000000),
+              500u);
+    EXPECT_DOUBLE_EQ(
+        wl::parseFloatFlag(argc, argv.data(), "--hours=", 24.0, 1e6),
+        0.25);
+    EXPECT_EQ(wl::parseStringFlag(argc, argv.data(), "--mix=", "def"),
+              "idle");
+    EXPECT_EQ(argc, 1);
+
+    // Fallbacks when absent.
+    EXPECT_EQ(wl::parseUintFlag(argc, argv.data(), "--devices=", 7, 1,
+                                100),
+              7u);
+    EXPECT_DOUBLE_EQ(
+        wl::parseFloatFlag(argc, argv.data(), "--hours=", 24.0, 1e6),
+        24.0);
+    EXPECT_EQ(wl::parseStringFlag(argc, argv.data(), "--mix=", "def"),
+              "def");
+}
+
+TEST(ParseTypedFlags, RejectsOutOfRangeAndMalformed)
+{
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet);
+    const struct
+    {
+        const char *arg;
+        const char *flag;
+        int kind; // 0 uint, 1 float, 2 string
+    } bad[] = {
+        {"--n=", "--n=", 0},      {"--n=zero", "--n=", 0},
+        {"--n=0", "--n=", 0},     {"--n=101", "--n=", 0},
+        {"--h=", "--h=", 1},      {"--h=-1", "--h=", 1},
+        {"--h=0", "--h=", 1},     {"--h=2e9", "--h=", 1},
+        {"--h=abc", "--h=", 1},   {"--s=", "--s=", 2},
+    };
+    for (const auto &b : bad) {
+        std::vector<std::string> storage = {"prog", b.arg};
+        std::vector<char *> argv = {storage[0].data(),
+                                    storage[1].data()};
+        int argc = 2;
+        switch (b.kind) {
+        case 0:
+            EXPECT_THROW(wl::parseUintFlag(argc, argv.data(), b.flag, 5,
+                                           1, 100),
+                         sim::FatalError)
+                << b.arg;
+            break;
+        case 1:
+            EXPECT_THROW(wl::parseFloatFlag(argc, argv.data(), b.flag,
+                                            1.0, 1e6),
+                         sim::FatalError)
+                << b.arg;
+            break;
+        default:
+            EXPECT_THROW(wl::parseStringFlag(argc, argv.data(), b.flag,
+                                             "d"),
+                         sim::FatalError)
+                << b.arg;
+        }
     }
 }
 
