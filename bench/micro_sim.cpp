@@ -344,7 +344,8 @@ BM_ReliableMailRoundtrip(benchmark::State &state)
         main_k.sendMail(soc::kWeakDomain, word);
         eng.run();
     }
-    if (delivered != state.iterations() + 1) {
+    if (delivered !=
+        static_cast<std::uint64_t>(state.iterations()) + 1) {
         std::fprintf(stderr,
                      "FATAL: reliable mail delivered %llu of %llu\n",
                      static_cast<unsigned long long>(delivered),

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Configure, build, and run the full test suite.
 #
-# Usage: scripts/check.sh [--asan | --tsan]
+# Usage: scripts/check.sh [--asan | --tsan | --bench]
 #
 # With --asan, builds into build-asan/ with AddressSanitizer + UBSan
 # (-DK2_SANITIZE=ON); this continuously checks the engine's manual
@@ -12,6 +12,11 @@
 # parallelism: the sweep harness and the thread-confined log
 # configuration. TSan and the simulator's single-threaded tier-1 suite
 # don't mix usefully, so only the parallel tests run in this mode.
+#
+# With --bench, runs the tier-2 perf gate end to end: rebuilds the
+# Release bench preset, re-measures the micro_sim suite, and fails if
+# any benchmark regresses against the recorded BENCH_sim.json baseline
+# (scripts/compare_bench.py, default threshold).
 
 set -euo pipefail
 
@@ -30,6 +35,18 @@ if [ "$MODE" = "--asan" ]; then
 elif [ "$MODE" = "--tsan" ]; then
     BUILD_DIR=build-tsan
     EXTRA=(-DK2_SANITIZE=thread)
+elif [ "$MODE" = "--bench" ]; then
+    cmake -B build-bench -S . -G Ninja \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-bench --target micro_sim
+    build-bench/bench/micro_sim \
+        --benchmark_format=json \
+        --benchmark_out=build-bench/bench_gate.json \
+        --benchmark_out_format=json \
+        --benchmark_min_time=0.5
+    scripts/compare_bench.py BENCH_sim.json build-bench/bench_gate.json
+    echo "bench gate: no regressions vs BENCH_sim.json"
+    exit 0
 fi
 
 # Prefer Ninja for fresh trees, but reuse whatever generator an
@@ -62,11 +79,21 @@ if [ "$MODE" = "--tsan" ]; then
         > "$BUILD_DIR/snap-cold.txt"
     diff "$BUILD_DIR/snap-warm.txt" "$BUILD_DIR/snap-cold.txt"
     # The fleet's streaming-reducer lanes are the newest parallel
-    # surface: race-check a sharded population and its lane merges.
+    # surface: race-check a sharded population and its lane merges,
+    # then at fleet scale -- 100k devices shard into enough cells to
+    # exercise every lane joint (calibration memoization, chunked SoA
+    # synthesis, sketch folds) under the race detector. Leave stderr
+    # attached: it carries the throughput line but also any TSan
+    # report, which a 2>/dev/null would silently discard (that hid a
+    # real signgam race in lgamma once).
     "$BUILD_DIR"/src/workloads/fleet --devices=600 --hours=4 --jobs=13 \
-        > "$BUILD_DIR/fleet-tsan.txt" 2>/dev/null
+        > "$BUILD_DIR/fleet-tsan.txt"
     "$BUILD_DIR"/src/workloads/fleet --devices=600 --hours=4 --jobs=1 \
-        2>/dev/null | diff - "$BUILD_DIR/fleet-tsan.txt"
+        | diff - "$BUILD_DIR/fleet-tsan.txt"
+    "$BUILD_DIR"/src/workloads/fleet --devices=100000 --hours=1 \
+        --jobs=13 > "$BUILD_DIR/fleet-tsan-big.txt"
+    "$BUILD_DIR"/src/workloads/fleet --devices=100000 --hours=1 \
+        --jobs=1 | diff - "$BUILD_DIR/fleet-tsan-big.txt"
     echo "tsan: parallel sweep tests + warm/cold identity OK"
     exit 0
 fi
@@ -160,4 +187,23 @@ for series in ("fleet.episode.energy_uj", "fleet.episode.latency_us",
         assert s[tail] is not None, f"{series} missing {tail}"
     assert s["p50"] <= s["p99"] <= s["max"], f"{series} tails disordered"
 EOF
-echo "fleet smoke: sharded/warm/cold artifacts identical, JSON OK"
+# Scale determinism smoke: a 100k-device population (hundreds of
+# cells) must stay byte-identical across an adversarial shard count,
+# and --diurnal must be deterministic too while --diurnal=0 must equal
+# omitting the flag entirely.
+"$BUILD_DIR"/src/workloads/fleet --devices=100000 --hours=1 --jobs=13 \
+    > "$FLEET_DIR/big_13.txt" 2>/dev/null
+"$BUILD_DIR"/src/workloads/fleet --devices=100000 --hours=1 --jobs=1 \
+    2>/dev/null | diff - "$FLEET_DIR/big_13.txt"
+"$BUILD_DIR"/src/workloads/fleet --devices=100000 --hours=1 --jobs=4 \
+    --diurnal=0 2>/dev/null | diff - "$FLEET_DIR/big_13.txt"
+"$BUILD_DIR"/src/workloads/fleet --devices=300 --hours=6 --jobs=13 \
+    --diurnal=0.5 > "$FLEET_DIR/diurnal_13.txt" 2>/dev/null
+"$BUILD_DIR"/src/workloads/fleet --devices=300 --hours=6 --jobs=1 \
+    --diurnal=0.5 2>/dev/null | diff - "$FLEET_DIR/diurnal_13.txt"
+if cmp -s "$FLEET_DIR/diurnal_13.txt" "$FLEET_DIR/warm_1.txt"; then
+    echo "error: --diurnal=0.5 did not change the fleet report" >&2
+    exit 1
+fi
+echo "fleet smoke: sharded/warm/cold artifacts identical, 100k-device" \
+     "scale + diurnal determinism OK, JSON OK"

@@ -2,13 +2,20 @@
 """Compare two google-benchmark JSON files (tier-2 perf gate).
 
 Usage: scripts/compare_bench.py BASELINE.json CANDIDATE.json
-       [--threshold PCT]
+       [--threshold PCT] [--filter REGEX]
 
 Exits non-zero when any benchmark present in both files regresses its
 real_time by more than the threshold (default 15%), or when any
 benchmark's allocs/op counter increases at all -- the event core's
 zero-allocation guarantees are exact, so a single new allocation per
 op is a regression, not noise.
+
+--filter restricts the comparison to benchmark names matching the
+regex (same spirit as google-benchmark's --benchmark_filter), for
+gating one subsystem without re-validating the rest of the suite.
+Improvements beyond the threshold are summarized separately at the
+end, so a perf PR's claimed speedup is readable straight off the
+gate's output.
 
 Typical use:
 
@@ -21,6 +28,7 @@ Typical use:
 
 import argparse
 import json
+import re
 import sys
 
 # allocs/op below this is a one-time setup allocation amortized over
@@ -53,10 +61,27 @@ def main():
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="max allowed real_time regression in percent "
                          "(default: %(default)s)")
+    ap.add_argument("--filter", metavar="REGEX", default=None,
+                    help="compare only benchmarks whose name matches "
+                         "this regex (re.search semantics)")
     args = ap.parse_args()
 
     base_ctx, base = load(args.baseline)
     cand_ctx, cand = load(args.candidate)
+
+    if args.filter is not None:
+        try:
+            pat = re.compile(args.filter)
+        except re.error as e:
+            sys.exit(f"error: bad --filter regex: {e}")
+        base = {n: b for n, b in base.items() if pat.search(n)}
+        cand = {n: b for n, b in cand.items() if pat.search(n)}
+        if not base or not cand:
+            sys.exit(f"error: --filter {args.filter!r} matches no "
+                     "benchmarks in "
+                     + ("both files" if not base and not cand
+                        else "the baseline" if not base
+                        else "the candidate"))
 
     for label, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
         bt = ctx.get("k2_build_type")
@@ -71,6 +96,7 @@ def main():
         print(f"warning: {name} missing from candidate", file=sys.stderr)
 
     failures = []
+    improvements = []
     width = max(len(n) for n in shared)
     print(f"{'benchmark':<{width}}  {'base':>12}  {'cand':>12}  "
           f"{'delta':>8}  allocs/op")
@@ -97,6 +123,11 @@ def main():
             failures.append(
                 f"{name}: real_time {bt:.1f} -> {ct:.1f} {unit} "
                 f"(+{delta:.1f}% > {args.threshold:g}%)")
+        elif delta < -args.threshold and ct > 0:
+            flag = "  IMPROVED"
+            improvements.append(
+                f"{name}: real_time {bt:.1f} -> {ct:.1f} {unit} "
+                f"({delta:.1f}%, {bt / ct:.2f}x)")
         if ca is not None and ca > (ba or 0.0):
             flag += "  ALLOC-REGRESSION"
             failures.append(
@@ -105,6 +136,11 @@ def main():
         print(f"{name:<{width}}  {bt:>10.1f}{unit:>2}  "
               f"{ct:>10.1f}{unit:>2}  {delta:>+7.1f}%  "
               f"{alloc_txt}{flag}")
+
+    if improvements:
+        print(f"\nimprovements beyond {args.threshold:g}%:")
+        for i in improvements:
+            print(f"  {i}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):",

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Profile a micro_sim hot path and print where the cycles go.
+#
+# Usage: scripts/profile.sh [--filter REGEX] [--min-time SEC]
+#
+# Prefers `perf` (sampled call graphs, no rebuild needed) when the
+# host has it; falls back to gprof instrumentation otherwise --
+# containers routinely lack perf or the perf_event_paranoid access
+# for it, and a -pg build answers the same "which function is hot"
+# question with no kernel support at all.
+#
+#  - perf path: profiles the Release bench build (build-bench/).
+#    Artifacts: build-prof/perf.data (+ a perf report summary).
+#  - gprof path: configures build-prof/ as Release + -pg, runs the
+#    filtered benchmarks there, and prints the flat profile head.
+#    Artifacts: build-prof/profile.txt, build-prof/gmon.out.
+#
+# Either way the filtered benchmarks run with a generous min-time so
+# the samples come from steady state, not setup.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+FILTER="BM_FleetDeviceHour"
+MIN_TIME=2
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --filter) FILTER="$2"; shift 2 ;;
+        --filter=*) FILTER="${1#*=}"; shift ;;
+        --min-time) MIN_TIME="$2"; shift 2 ;;
+        --min-time=*) MIN_TIME="${1#*=}"; shift ;;
+        *) echo "usage: scripts/profile.sh [--filter REGEX]" \
+               "[--min-time SEC]" >&2; exit 2 ;;
+    esac
+done
+
+BENCH_ARGS=(--benchmark_filter="$FILTER"
+            --benchmark_min_time="${MIN_TIME}s")
+mkdir -p build-prof
+
+if command -v perf >/dev/null 2>&1 &&
+   perf stat -e task-clock true >/dev/null 2>&1; then
+    cmake -B build-bench -S . -G Ninja \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-bench --target micro_sim
+    echo "== perf stat ($FILTER) =="
+    perf stat -- build-bench/bench/micro_sim "${BENCH_ARGS[@]}"
+    perf record -g -o build-prof/perf.data -- \
+        build-bench/bench/micro_sim "${BENCH_ARGS[@]}" >/dev/null
+    echo
+    echo "== hottest symbols =="
+    perf report -i build-prof/perf.data --stdio \
+        --percent-limit 1 2>/dev/null | head -40
+    echo
+    echo "full call graph: perf report -i build-prof/perf.data"
+    exit 0
+fi
+
+echo "perf unavailable; using gprof (-pg instrumented Release build)"
+cmake -B build-prof -S . -G Ninja \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-pg -g -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-pg" >/dev/null
+cmake --build build-prof --target micro_sim
+
+# gmon.out lands in the working directory of the profiled process.
+(cd build-prof && bench/micro_sim "${BENCH_ARGS[@]}")
+gprof -b build-prof/bench/micro_sim build-prof/gmon.out \
+    > build-prof/profile.txt
+echo
+echo "== flat profile (top) =="
+sed -n '1,25p' build-prof/profile.txt
+echo
+echo "full profile: build-prof/profile.txt"

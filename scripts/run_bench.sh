@@ -5,22 +5,29 @@
 # (scripts/compare_bench.py) and re-record it when they move the
 # needle.
 #
-# Usage: scripts/run_bench.sh [build-dir]
+# Usage: scripts/run_bench.sh [build-dir] [-- extra micro_sim args]
 #
-# The baseline must come from an optimized build: the default build
-# dir is build-bench/, configured as Release. Passing an existing
-# build dir whose CMAKE_BUILD_TYPE is not Release is refused.
-#
-# Note: the JSON context's "library_build_type" describes the system
-# libbenchmark package (often "debug" on Debian) -- it says nothing
-# about k2's own optimization level. The authoritative field is
-# "k2_build_type", stamped by micro_sim from CMAKE_BUILD_TYPE.
+# The baseline must come from an optimized build end to end:
+#  - k2 itself: the default build dir is build-bench/ (the `bench`
+#    preset), configured as Release. Passing an existing build dir
+#    whose CMAKE_BUILD_TYPE is not Release is refused.
+#  - the benchmark *harness*: the recorded JSON must carry
+#    "library_build_type": "release". The bundled k2bench harness
+#    (third_party/k2bench, the default) always is; the system Debian
+#    libbenchmark is a debug build, and a baseline measured through it
+#    is refused after the run (K2_ALLOW_DEBUG_BENCH=1 overrides, for
+#    harness A/B experiments only -- never for a committed baseline).
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build-bench}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
+
+EXTRA_ARGS=()
+if [ $# -ge 2 ] && [ "$2" = "--" ]; then
+    EXTRA_ARGS=("${@:3}")
+fi
 
 if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
     BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
@@ -42,7 +49,31 @@ cmake --build "$BUILD_DIR" --target micro_sim
     --benchmark_format=json \
     --benchmark_out="$ROOT/BENCH_sim.json" \
     --benchmark_out_format=json \
-    --benchmark_min_time=0.5
+    --benchmark_min_time=0.5 \
+    "${EXTRA_ARGS[@]}"
+
+# Refuse a baseline measured through a debug benchmark harness: its
+# per-iteration overhead is not comparable with release-harness runs.
+LBT="$(python3 - "$ROOT/BENCH_sim.json" <<'EOF'
+import json, sys
+print(json.load(open(sys.argv[1])).get("context", {})
+      .get("library_build_type", "unknown"))
+EOF
+)"
+if [ "$LBT" != "release" ]; then
+    echo >&2
+    echo "error: BENCH_sim.json was measured through a" \
+         "'$LBT'-build benchmark harness." >&2
+    echo "Use the bundled k2bench harness (the default;" \
+         "-DK2_SYSTEM_BENCHMARK=OFF) so library_build_type is" \
+         "'release'." >&2
+    if [ "${K2_ALLOW_DEBUG_BENCH:-0}" != "1" ]; then
+        echo "Set K2_ALLOW_DEBUG_BENCH=1 to keep the file anyway" \
+             "(harness A/B experiments only)." >&2
+        exit 1
+    fi
+    echo "K2_ALLOW_DEBUG_BENCH=1 set: keeping the file anyway." >&2
+fi
 
 echo
 echo "wrote $ROOT/BENCH_sim.json"

@@ -1,0 +1,326 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace k2 {
+namespace sim {
+
+#if defined(__x86_64__)
+
+namespace {
+
+/**
+ * SIMD Philox-4x32 kernels. Philox is pure 32-bit integer math, so
+ * every path below is bit-identical to CounterRng::block() on any
+ * ISA (the fill==at() test covers whichever path the host selects).
+ *
+ * Layout: one block's state word per 64-bit lane, value kept
+ * canonical in the low 32 bits -- exactly what pmuludq/vpmuludq
+ * consume for the 32x32->64 widening multiply. The baseline build
+ * targets plain x86-64, so the AVX2 kernel is compiled via a target
+ * attribute and selected at runtime with __builtin_cpu_supports.
+ */
+
+/** One round across two blocks (SSE2, 2x64-bit lanes). */
+inline void
+roundSse(__m128i &c0, __m128i &c1, __m128i &c2, __m128i &c3,
+         __m128i k0, __m128i k1, __m128i mulA, __m128i mulB,
+         __m128i low)
+{
+    const __m128i p0 = _mm_mul_epu32(c0, mulA);
+    const __m128i p1 = _mm_mul_epu32(c2, mulB);
+    const __m128i nc0 = _mm_xor_si128(
+        _mm_srli_epi64(p1, 32), _mm_xor_si128(c1, k0));
+    const __m128i nc1 = _mm_and_si128(p1, low);
+    const __m128i nc2 = _mm_xor_si128(
+        _mm_srli_epi64(p0, 32), _mm_xor_si128(c3, k1));
+    const __m128i nc3 = _mm_and_si128(p0, low);
+    c0 = nc0;
+    c1 = nc1;
+    c2 = nc2;
+    c3 = nc3;
+}
+
+/**
+ * Blocks [blk, blk + count) through the SSE2 kernel, four blocks in
+ * flight. Writes 2*count u64 words; returns blocks produced (a
+ * multiple of 4; the caller finishes the remainder with block()).
+ */
+std::uint64_t
+fillSse2(std::uint32_t key0, std::uint32_t key1, std::uint32_t ctr2,
+         std::uint32_t ctr3, std::uint64_t blk, std::uint64_t *out,
+         std::uint64_t count)
+{
+    const __m128i mulA = _mm_set1_epi64x(0xD2511F53ll);
+    const __m128i mulB = _mm_set1_epi64x(0xCD9E8D57ll);
+    const __m128i low = _mm_set1_epi64x(0xFFFFFFFFll);
+    const __m128i weylA = _mm_set1_epi64x(0x9E3779B9ll);
+    const __m128i weylB = _mm_set1_epi64x(0xBB67AE85ll);
+    const __m128i vc2 = _mm_set1_epi64x(ctr2);
+    const __m128i vc3 = _mm_set1_epi64x(ctr3);
+    const __m128i vk0 = _mm_set1_epi64x(key0);
+    const __m128i vk1 = _mm_set1_epi64x(key1);
+    std::uint64_t done = 0;
+    while (done + 4 <= count) {
+        const std::uint64_t b = blk + done;
+        __m128i aCnt = _mm_set_epi64x(
+            static_cast<long long>(b + 1),
+            static_cast<long long>(b));
+        __m128i bCnt = _mm_set_epi64x(
+            static_cast<long long>(b + 3),
+            static_cast<long long>(b + 2));
+        __m128i aC0 = _mm_and_si128(aCnt, low);
+        __m128i aC1 = _mm_srli_epi64(aCnt, 32);
+        __m128i aC2 = vc2;
+        __m128i aC3 = vc3;
+        __m128i bC0 = _mm_and_si128(bCnt, low);
+        __m128i bC1 = _mm_srli_epi64(bCnt, 32);
+        __m128i bC2 = vc2;
+        __m128i bC3 = vc3;
+        __m128i k0 = vk0;
+        __m128i k1 = vk1;
+        for (int r = 0; r < CounterRng::kRounds; ++r) {
+            roundSse(aC0, aC1, aC2, aC3, k0, k1, mulA, mulB, low);
+            roundSse(bC0, bC1, bC2, bC3, k0, k1, mulA, mulB, low);
+            k0 = _mm_and_si128(_mm_add_epi64(k0, weylA), low);
+            k1 = _mm_and_si128(_mm_add_epi64(k1, weylB), low);
+        }
+        // Lane j of (c0|c1<<32, c2|c3<<32) is (w0, w1) of block
+        // b+j; unpack interleaves them back into stream order.
+        const __m128i aW0 =
+            _mm_or_si128(aC0, _mm_slli_epi64(aC1, 32));
+        const __m128i aW1 =
+            _mm_or_si128(aC2, _mm_slli_epi64(aC3, 32));
+        const __m128i bW0 =
+            _mm_or_si128(bC0, _mm_slli_epi64(bC1, 32));
+        const __m128i bW1 =
+            _mm_or_si128(bC2, _mm_slli_epi64(bC3, 32));
+        std::uint64_t *dst = out + 2 * done;
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst),
+                         _mm_unpacklo_epi64(aW0, aW1));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + 2),
+                         _mm_unpackhi_epi64(aW0, aW1));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + 4),
+                         _mm_unpacklo_epi64(bW0, bW1));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + 6),
+                         _mm_unpackhi_epi64(bW0, bW1));
+        done += 4;
+    }
+    return done;
+}
+
+/** One round across four blocks (AVX2, 4x64-bit lanes). */
+__attribute__((target("avx2"))) inline void
+roundAvx(__m256i &c0, __m256i &c1, __m256i &c2, __m256i &c3,
+         __m256i k0, __m256i k1, __m256i mulA, __m256i mulB,
+         __m256i low)
+{
+    const __m256i p0 = _mm256_mul_epu32(c0, mulA);
+    const __m256i p1 = _mm256_mul_epu32(c2, mulB);
+    const __m256i nc0 = _mm256_xor_si256(
+        _mm256_srli_epi64(p1, 32), _mm256_xor_si256(c1, k0));
+    const __m256i nc1 = _mm256_and_si256(p1, low);
+    const __m256i nc2 = _mm256_xor_si256(
+        _mm256_srli_epi64(p0, 32), _mm256_xor_si256(c3, k1));
+    const __m256i nc3 = _mm256_and_si256(p0, low);
+    c0 = nc0;
+    c1 = nc1;
+    c2 = nc2;
+    c3 = nc3;
+}
+
+/** Same contract as fillSse2, eight blocks in flight (AVX2). */
+__attribute__((target("avx2"))) std::uint64_t
+fillAvx2(std::uint32_t key0, std::uint32_t key1, std::uint32_t ctr2,
+         std::uint32_t ctr3, std::uint64_t blk, std::uint64_t *out,
+         std::uint64_t count)
+{
+    const __m256i mulA = _mm256_set1_epi64x(0xD2511F53ll);
+    const __m256i mulB = _mm256_set1_epi64x(0xCD9E8D57ll);
+    const __m256i low = _mm256_set1_epi64x(0xFFFFFFFFll);
+    const __m256i weylA = _mm256_set1_epi64x(0x9E3779B9ll);
+    const __m256i weylB = _mm256_set1_epi64x(0xBB67AE85ll);
+    const __m256i vc2 = _mm256_set1_epi64x(ctr2);
+    const __m256i vc3 = _mm256_set1_epi64x(ctr3);
+    const __m256i vk0 = _mm256_set1_epi64x(key0);
+    const __m256i vk1 = _mm256_set1_epi64x(key1);
+    const __m256i lane = _mm256_setr_epi64x(0, 1, 2, 3);
+    std::uint64_t done = 0;
+    while (done + 8 <= count) {
+        const std::uint64_t b = blk + done;
+        __m256i aCnt = _mm256_add_epi64(
+            _mm256_set1_epi64x(static_cast<long long>(b)), lane);
+        __m256i bCnt = _mm256_add_epi64(
+            _mm256_set1_epi64x(static_cast<long long>(b + 4)),
+            lane);
+        __m256i aC0 = _mm256_and_si256(aCnt, low);
+        __m256i aC1 = _mm256_srli_epi64(aCnt, 32);
+        __m256i aC2 = vc2;
+        __m256i aC3 = vc3;
+        __m256i bC0 = _mm256_and_si256(bCnt, low);
+        __m256i bC1 = _mm256_srli_epi64(bCnt, 32);
+        __m256i bC2 = vc2;
+        __m256i bC3 = vc3;
+        __m256i k0 = vk0;
+        __m256i k1 = vk1;
+        for (int r = 0; r < CounterRng::kRounds; ++r) {
+            roundAvx(aC0, aC1, aC2, aC3, k0, k1, mulA, mulB, low);
+            roundAvx(bC0, bC1, bC2, bC3, k0, k1, mulA, mulB, low);
+            k0 = _mm256_and_si256(_mm256_add_epi64(k0, weylA), low);
+            k1 = _mm256_and_si256(_mm256_add_epi64(k1, weylB), low);
+        }
+        const __m256i aW0 =
+            _mm256_or_si256(aC0, _mm256_slli_epi64(aC1, 32));
+        const __m256i aW1 =
+            _mm256_or_si256(aC2, _mm256_slli_epi64(aC3, 32));
+        const __m256i bW0 =
+            _mm256_or_si256(bC0, _mm256_slli_epi64(bC1, 32));
+        const __m256i bW1 =
+            _mm256_or_si256(bC2, _mm256_slli_epi64(bC3, 32));
+        // unpack*_epi64 interleaves within 128-bit halves:
+        // lo = [w0(b0) w1(b0) | w0(b2) w1(b2)], hi likewise for
+        // b1/b3; permute2x128 stitches the halves into stream order.
+        const __m256i aLo = _mm256_unpacklo_epi64(aW0, aW1);
+        const __m256i aHi = _mm256_unpackhi_epi64(aW0, aW1);
+        const __m256i bLo = _mm256_unpacklo_epi64(bW0, bW1);
+        const __m256i bHi = _mm256_unpackhi_epi64(bW0, bW1);
+        std::uint64_t *dst = out + 2 * done;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst),
+            _mm256_permute2x128_si256(aLo, aHi, 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + 4),
+            _mm256_permute2x128_si256(aLo, aHi, 0x31));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + 8),
+            _mm256_permute2x128_si256(bLo, bHi, 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + 12),
+            _mm256_permute2x128_si256(bLo, bHi, 0x31));
+        done += 8;
+    }
+    return done;
+}
+
+} // namespace
+
+#endif // __x86_64__
+
+void
+CounterRng::fill(std::uint64_t first, std::uint64_t *out,
+                 std::size_t n) const
+{
+    std::size_t produced = 0;
+    std::uint64_t i = first;
+    // Leading odd offset.
+    if ((i & 1) && produced < n) {
+        out[produced++] = at(i);
+        ++i;
+    }
+    std::uint64_t blk = i >> 1;
+
+#if defined(__x86_64__)
+    static const bool haveAvx2 = __builtin_cpu_supports("avx2");
+    const std::uint64_t want = (n - produced) / 2;
+    const std::uint64_t got =
+        haveAvx2 ? fillAvx2(key0_, key1_, ctr2_, ctr3_, blk,
+                            out + produced, want)
+                 : fillSse2(key0_, key1_, ctr2_, ctr3_, blk,
+                            out + produced, want);
+    produced += 2 * got;
+    blk += got;
+#endif
+
+    while (n - produced >= 2) {
+        block(blk++, out + produced);
+        produced += 2;
+    }
+    if (produced < n)
+        out[produced] = at(blk << 1);
+}
+
+namespace {
+
+/** Inversion by multiplication (Knuth): O(mean), small means only. */
+std::uint64_t
+poissonSmall(CounterRng &rng, double mean)
+{
+    const double limit = std::exp(-mean);
+    double prod = rng.uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+        ++n;
+        prod *= rng.uniform();
+    }
+    return n;
+}
+
+/**
+ * ln(k!) = ln Gamma(k+1). glibc's lgamma() writes the process-global
+ * `signgam`, which is a data race when devices are synthesized on
+ * several host threads; lgamma_r() computes the identical bits into a
+ * caller-provided sign slot instead. Gamma(k+1) > 0 for k >= 0, so
+ * the sign is discarded.
+ */
+double
+lnFactorial(double k)
+{
+#if defined(__GLIBC__)
+    int sign;
+    return ::lgamma_r(k + 1.0, &sign);
+#else
+    return std::lgamma(k + 1.0);
+#endif
+}
+
+/**
+ * Hormann's PTRD transformed-rejection sampler (W. Hormann, "The
+ * transformed rejection method for generating Poisson random
+ * variables", 1993). O(1) in the mean; valid for mean >= 10.
+ */
+std::uint64_t
+poissonPtrd(CounterRng &rng, double mean)
+{
+    const double smu = std::sqrt(mean);
+    const double b = 0.931 + 2.53 * smu;
+    const double a = -0.059 + 0.02483 * b;
+    const double invAlpha = 1.1239 + 1.1328 / (b - 3.4);
+    const double vr = 0.9277 - 3.6224 / (b - 2.0);
+    const double logMu = std::log(mean);
+
+    for (;;) {
+        const double u = rng.uniform() - 0.5;
+        const double v = rng.uniform();
+        const double us = 0.5 - std::fabs(u);
+        const double kf =
+            std::floor((2.0 * a / us + b) * u + mean + 0.43);
+        if (us >= 0.07 && v <= vr)
+            return static_cast<std::uint64_t>(kf);
+        if (kf < 0.0 || (us < 0.013 && v > us))
+            continue;
+        const double k = kf;
+        if (std::log(v * invAlpha / (a / (us * us) + b)) <=
+            k * logMu - mean - lnFactorial(k))
+            return static_cast<std::uint64_t>(kf);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+poisson(CounterRng &rng, double mean)
+{
+    K2_ASSERT(mean >= 0.0);
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 10.0)
+        return poissonSmall(rng, mean);
+    return poissonPtrd(rng, mean);
+}
+
+} // namespace sim
+} // namespace k2

@@ -2,14 +2,28 @@
  * @file
  * Deterministic pseudo-random number generation for workloads.
  *
- * xoshiro256** with a SplitMix64 seeder: fast, high quality, and (unlike
- * std::mt19937 + std::distributions) guaranteed to produce identical
- * sequences across standard library implementations.
+ * Two generators, two contracts:
+ *
+ *  - Rng: xoshiro256** with a SplitMix64 seeder. Sequential state,
+ *    fast, high quality, and (unlike std::mt19937 +
+ *    std::distributions) guaranteed to produce identical sequences
+ *    across standard library implementations.
+ *
+ *  - CounterRng: a Philox-style counter-based generator keyed by
+ *    (seed, key, stream). There is no sequential state to thread:
+ *    value i of a stream is a pure function of (seed, key, stream, i),
+ *    so any offset of any stream is computable independently, in any
+ *    order, on any host thread. This is what lets the fleet's
+ *    structure-of-arrays synthesis fill payload / noise / arrival
+ *    arrays in separate batched passes (DESIGN.md §12) while staying
+ *    byte-identical however devices are sharded into cells and lanes.
  */
 
 #ifndef K2_SIM_RANDOM_H
 #define K2_SIM_RANDOM_H
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/log.h"
@@ -92,6 +106,185 @@ class Rng
 
     std::uint64_t state_[4];
 };
+
+/**
+ * Counter-based splittable PRNG (Philox-4x32-10 core).
+ *
+ * A CounterRng names one *stream* out of a keyed family: the
+ * constructor derives the Philox key from @p seed and the upper
+ * counter half from (@p key, @p stream) -- for the fleet, @p key is
+ * the device id -- and the lower counter half is the 64-bit block
+ * index. Every 128-bit block is one 10-round Philox-4x32 evaluation
+ * of (key, counter): value `at(i)` needs no preceding draw, distinct
+ * streams never share a counter, and the whole family is
+ * reproducible from the three constructor integers alone.
+ *
+ * The sequential convenience API (next()/uniform()/below()) is a
+ * cursor over the same values: `next()` returns exactly `at(cursor)`
+ * and advances the cursor, so mixed random/sequential use stays
+ * coherent.
+ *
+ * below() uses fixed-point multiply-shift (widening multiply, take
+ * the high word) rather than Rng::below's rejection loop: it
+ * consumes exactly one value per draw -- an offset-stability
+ * requirement -- at the cost of a bias below 2^-64 * bound, which is
+ * beneath measurement for every bound the simulator uses.
+ */
+class CounterRng
+{
+  public:
+    static constexpr int kRounds = 10;
+
+    CounterRng(std::uint64_t seed, std::uint64_t key,
+               std::uint32_t stream)
+    {
+        // SplitMix64 finalizers: the Philox key depends only on the
+        // fleet seed; the upper counter words depend only on
+        // (key, stream). Philox's avalanche mixes them.
+        const std::uint64_t ks = mix(
+            seed + 0x243F6A8885A308D3ull);
+        const std::uint64_t cs = mix(
+            key + 0x9E3779B97F4A7C15ull * (stream + 1));
+        key0_ = static_cast<std::uint32_t>(ks);
+        key1_ = static_cast<std::uint32_t>(ks >> 32);
+        ctr2_ = static_cast<std::uint32_t>(cs);
+        ctr3_ = static_cast<std::uint32_t>(cs >> 32);
+    }
+
+    /** 128-bit block @p blk as two 64-bit words (values 2*blk and
+     *  2*blk + 1 of the stream). */
+    void
+    block(std::uint64_t blk, std::uint64_t out[2]) const
+    {
+        std::uint32_t c0 = static_cast<std::uint32_t>(blk);
+        std::uint32_t c1 = static_cast<std::uint32_t>(blk >> 32);
+        std::uint32_t c2 = ctr2_;
+        std::uint32_t c3 = ctr3_;
+        std::uint32_t k0 = key0_;
+        std::uint32_t k1 = key1_;
+        for (int r = 0; r < kRounds; ++r) {
+            round(c0, c1, c2, c3, k0, k1);
+            k0 += 0x9E3779B9u; // Weyl key schedule.
+            k1 += 0xBB67AE85u;
+        }
+        out[0] = c0 | (static_cast<std::uint64_t>(c1) << 32);
+        out[1] = c2 | (static_cast<std::uint64_t>(c3) << 32);
+    }
+
+    /** Value @p i of the stream, independent of any other draw. */
+    std::uint64_t
+    at(std::uint64_t i) const
+    {
+        std::uint64_t w[2];
+        block(i >> 1, w);
+        return w[i & 1];
+    }
+
+    /** Uniform double in [0, 1) at offset @p i. */
+    double
+    uniformAt(std::uint64_t i) const
+    {
+        return static_cast<double>(at(i) >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Fill @p out with values [@p first, @p first + @p n) of the
+     * stream: bit-identical to calling at() per element (a test
+     * asserts this), but batched -- on x86-64 the Philox rounds run
+     * four blocks in flight through SSE2 pmuludq, ~4x the scalar
+     * block() throughput. This is the fleet synthesizer's RNG path.
+     */
+    void fill(std::uint64_t first, std::uint64_t *out,
+              std::size_t n) const;
+
+    /** Sequential cursor position (offset of the next next()). @{ */
+    std::uint64_t cursor() const { return cursor_; }
+    void
+    seek(std::uint64_t i)
+    {
+        cursor_ = i;
+    }
+    /** @} */
+
+    /** at(cursor()), then advance the cursor. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t blk = cursor_ >> 1;
+        if (blk != cachedBlk_ || !cacheValid_) {
+            block(blk, cache_);
+            cachedBlk_ = blk;
+            cacheValid_ = true;
+        }
+        return cache_[cursor_++ & 1];
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound) by multiply-shift (one draw,
+     *  bias < bound * 2^-64). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        K2_ASSERT(bound > 0);
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    static void
+    round(std::uint32_t &c0, std::uint32_t &c1, std::uint32_t &c2,
+          std::uint32_t &c3, std::uint32_t k0, std::uint32_t k1)
+    {
+        const std::uint64_t p0 = 0xD2511F53ull * c0;
+        const std::uint64_t p1 = 0xCD9E8D57ull * c2;
+        const std::uint32_t nc0 =
+            static_cast<std::uint32_t>(p1 >> 32) ^ c1 ^ k0;
+        const std::uint32_t nc1 = static_cast<std::uint32_t>(p1);
+        const std::uint32_t nc2 =
+            static_cast<std::uint32_t>(p0 >> 32) ^ c3 ^ k1;
+        const std::uint32_t nc3 = static_cast<std::uint32_t>(p0);
+        c0 = nc0;
+        c1 = nc1;
+        c2 = nc2;
+        c3 = nc3;
+    }
+
+    std::uint32_t key0_, key1_, ctr2_, ctr3_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t cachedBlk_ = 0;
+    std::uint64_t cache_[2] = {0, 0};
+    bool cacheValid_ = false;
+};
+
+/**
+ * Poisson draw with mean @p mean from @p rng's sequential cursor.
+ *
+ * Small means use inversion by multiplication (Knuth); means >= 10
+ * use Hormann's PTRD transformed-rejection sampler, whose cost is
+ * O(1) in the mean -- the fleet synthesizer draws per-device episode
+ * *counts* directly instead of walking exponential inter-arrivals,
+ * so a quiet day and a 10^6-episode day cost the same here.
+ * Deterministic for a given stream position (consumes a variable but
+ * reproducible number of draws).
+ */
+std::uint64_t poisson(CounterRng &rng, double mean);
 
 } // namespace sim
 } // namespace k2

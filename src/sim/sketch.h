@@ -46,6 +46,15 @@ class QuantileSketch
     void sample(double v);
 
     /**
+     * Sample @p n contiguous values. Element-for-element identical to
+     * calling sample(v[i]) in order (a test asserts exact state
+     * equality); batched so the accumulators stay in registers across
+     * the fleet synthesizer's scratch arrays instead of being
+     * reloaded per call.
+     */
+    void sampleBatch(const double *v, std::size_t n);
+
+    /**
      * Fold @p other into this sketch. Exactly associative and
      * commutative (see file comment); merging shard sketches is
      * bit-identical to sampling the concatenated stream.

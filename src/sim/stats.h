@@ -125,14 +125,19 @@ class Histogram
     bucketIndex(double v)
     {
         // Catches v < 2 as well as NaN (every comparison with NaN is
-        // false), so the cast below is always in range.
+        // false), so the exponent read below sees a positive value.
         if (!(v >= 2.0))
             return 0;
-        constexpr double kTop = 9223372036854775808.0; // 2^63
-        if (v >= kTop)
-            return kBuckets - 1;
-        const auto u = static_cast<std::uint64_t>(v); // in [2, 2^63)
-        return static_cast<std::size_t>(std::bit_width(u) - 1);
+        // For v >= 2 the unbiased IEEE-754 exponent IS floor(log2 v),
+        // i.e. the log2 bucket; reading it from the bits replaces the
+        // double->integer conversion + bit_width of the truncated
+        // value (bit-identical on the whole domain, including the
+        // >= 2^63 clamp and infinity -- a test checks every power-of-
+        // two boundary) with two integer ops on the sketch hot path.
+        // The sign bit is 0 here (v >= 2), so no masking is needed.
+        const auto bits = std::bit_cast<std::uint64_t>(v);
+        return std::min<std::size_t>((bits >> 52) - 1023,
+                                     kBuckets - 1);
     }
 
     /** Inclusive lower boundary of bucket @p i. */

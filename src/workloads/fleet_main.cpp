@@ -4,13 +4,16 @@
  *
  *   fleet [--devices=N] [--hours=H] [--mix=NAME] [--seed=N]
  *         [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
- *         [--report=FILE]
+ *         [--diurnal=AMPL] [--report=FILE]
  *
  * Simulates N devices' background traffic over H hours (see
- * DESIGN.md §11): each sweep cell grounds per-kind episode costs by
- * measuring them on a warm-forked K2 testbed, then synthesises the
- * device population's episode timelines through mergeable quantile
- * sketches. Prints fleet-level energy/latency distributions with
+ * DESIGN.md §11-12): per-kind episode costs are measured once per
+ * unique config on a warm-forked K2 testbed (memoized), then the
+ * device population's episode timelines are synthesised in batches
+ * through mergeable quantile sketches. --diurnal=AMPL modulates
+ * arrival rates sinusoidally over the day with amplitude AMPL in
+ * [0, 1] (0 = off, the default, byte-identical to omitting the
+ * flag). Prints fleet-level energy/latency distributions with
  * p50/p90/p99/p99.9 tails; --report additionally writes the sketches
  * as a JSON artifact.
  *
@@ -23,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -42,7 +46,8 @@ usage()
         "usage: fleet [--devices=N] [--hours=H] [--mix=NAME] "
         "[--seed=N]\n"
         "             [--jobs=N] [--sweep=warm|cold] "
-        "[--faults=SPEC] [--report=FILE]\n"
+        "[--faults=SPEC]\n"
+        "             [--diurnal=AMPL] [--report=FILE]\n"
         "mixes: %s\n",
         k2::wl::mixNames().c_str());
 }
@@ -68,6 +73,22 @@ main(int argc, char **argv)
         cfg.seed =
             wl::parseUintFlag(argc, argv, "--seed=", cfg.seed, 0,
                               UINT64_MAX);
+        // Hand-parsed: parseFloatFlag rejects 0, but an explicit
+        // --diurnal=0 (off) is valid and must equal omitting it.
+        const std::string diurnal =
+            wl::parseStringFlag(argc, argv, "--diurnal=", "");
+        if (!diurnal.empty()) {
+            char *end = nullptr;
+            cfg.diurnal = std::strtod(diurnal.c_str(), &end);
+            if (end == diurnal.c_str() || *end != '\0' ||
+                !(cfg.diurnal >= 0.0 && cfg.diurnal <= 1.0)) {
+                std::fprintf(
+                    stderr,
+                    "--diurnal amplitude must be in [0, 1]\n");
+                usage();
+                return 2;
+            }
+        }
         reportFile =
             wl::parseStringFlag(argc, argv, "--report=", "");
         if (argc != 1) {

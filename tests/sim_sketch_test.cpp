@@ -7,7 +7,10 @@
  */
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -185,4 +188,85 @@ TEST(QuantileSketch, ResetClears)
     s.reset();
     EXPECT_TRUE(s == QuantileSketch{});
     EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(QuantileSketch, SampleBatchMatchesSequentialSampleExactly)
+{
+    // sampleBatch is the fleet hot path; its contract is field-exact
+    // equality with per-element sample() in order -- including the
+    // degenerate values that take its spill/saturation slow paths.
+    auto vals = makeStream(21, 5000); // crosses the internal span
+    // Values chosen against the batch fast path's internals: NaN and
+    // out-of-int64-range inputs (cvt sentinel), values whose scaled
+    // magnitude exceeds the overflow-proof partial-sum cap 2^52 but
+    // still fits int64 (exact spill), the saturation threshold, zero,
+    // signed zero, and subnormals.
+    vals[7] = std::numeric_limits<double>::quiet_NaN();
+    vals[11] = 1e300;
+    vals[13] = -1e300;
+    vals[17] = std::numeric_limits<double>::infinity();
+    vals[19] = -std::numeric_limits<double>::infinity();
+    vals[23] = 8.79e12;  // scaled ~9.2e18: between 2^52 and int64 max
+    vals[29] = 9e12;     // scaled past the saturation threshold
+    vals[31] = -9e12;
+    vals[37] = 5e9;      // scaled ~5.2e15: just past the 2^52 cap
+    vals[41] = 0.0;
+    vals[43] = -0.0;
+    vals[47] = 5e-324;
+
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{2}, std::size_t{3},
+                          std::size_t{53}, std::size_t{2048},
+                          std::size_t{2049}, std::size_t{5000}}) {
+        QuantileSketch seq, batch;
+        for (std::size_t i = 0; i < n; ++i)
+            seq.sample(vals[i]);
+        batch.sampleBatch(vals.data(), n);
+        EXPECT_TRUE(batch == seq) << "n=" << n;
+    }
+
+    // Batches append: splitting one stream into consecutive
+    // sampleBatch calls of awkward lengths equals one call.
+    QuantileSketch whole, split;
+    whole.sampleBatch(vals.data(), vals.size());
+    std::size_t at = 0;
+    for (std::size_t len : {std::size_t{1}, std::size_t{7},
+                            std::size_t{2048}, std::size_t{2944}}) {
+        split.sampleBatch(vals.data() + at, len);
+        at += len;
+    }
+    ASSERT_EQ(at, vals.size());
+    EXPECT_TRUE(split == whole);
+}
+
+TEST(Histogram, BucketIndexMatchesReferenceOnBoundaries)
+{
+    // The exponent-bits bucketIndex must agree with the definitional
+    // reference (truncate, then bit width) everywhere -- most
+    // delicately at every power-of-two boundary and around the top
+    // bucket's 2^63 clamp.
+    const auto reference = [](double v) -> std::size_t {
+        if (!(v >= 2.0))
+            return 0;
+        if (v >= 9.223372036854775808e18) // 2^63
+            return Histogram::kBuckets - 1;
+        const auto t = static_cast<std::uint64_t>(v);
+        return std::min<std::size_t>(std::bit_width(t) - 1,
+                                     Histogram::kBuckets - 1);
+    };
+    const auto check = [&](double v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), reference(v)) << v;
+    };
+    for (int e = 1; e < 64; ++e) {
+        const double p = std::ldexp(1.0, e);
+        check(std::nextafter(p, 0.0));
+        check(p);
+        check(std::nextafter(p, 1e300));
+    }
+    for (double v : {0.0, -0.0, 1.0, 1.5, 1.9999999, -5.0, 1e-300,
+                     5e-324, 1e300, 3.7, 1024.001,
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()})
+        check(v);
 }

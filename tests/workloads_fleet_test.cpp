@@ -84,7 +84,7 @@ TEST(FleetStats, ShardedSynthesisFoldsExactly)
     EXPECT_EQ(folded.bytes, whole.bytes);
     for (std::size_t k = 0; k < wl::kFleetKinds; ++k)
         EXPECT_EQ(folded.episodes[k], whole.episodes[k]);
-    EXPECT_TRUE(folded.episodeEnergyUj == whole.episodeEnergyUj);
+    EXPECT_TRUE(folded.episodeEnergy() == whole.episodeEnergy());
     EXPECT_TRUE(folded.episodeLatencyUs == whole.episodeLatencyUs);
     EXPECT_TRUE(folded.deviceEnergyUj == whole.deviceEnergyUj);
     for (std::size_t k = 0; k < wl::kFleetKinds; ++k)
@@ -135,6 +135,76 @@ TEST(Fleet, ByteIdenticalAtAnyJobsAndSweepMode)
     // Artifacts must not leak host-side facts that vary run to run.
     EXPECT_EQ(serial.text.find("jobs"), std::string::npos);
     EXPECT_EQ(serial.json.find("jobs"), std::string::npos);
+}
+
+TEST(FleetCalibration, MemoizedEqualsFreshBitForBit)
+{
+    // calibrationFor's contract: the cached model is bit-identical to
+    // measuring a freshly provisioned fixture, in both sweep modes
+    // (the snapshot layer's warm==cold guarantee transfers to the
+    // calibration numbers).
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet);
+    const std::string key = "fleet-test:memo";
+
+    const wl::Calibration &cached =
+        wl::calibrationFor(wl::SweepMode::Warm, key);
+    const wl::Calibration &again =
+        wl::calibrationFor(wl::SweepMode::Warm, key);
+    EXPECT_EQ(&cached, &again); // hit: same entry, no re-measure
+
+    // Reference: measure an independently restored fixture.
+    const wl::Calibration fresh =
+        wl::calibrate(wl::warmK2(wl::SweepMode::Warm, key));
+    EXPECT_TRUE(cached == fresh);
+    // And measuring is itself reproducible fixture-to-fixture.
+    EXPECT_TRUE(wl::calibrate(wl::warmK2(wl::SweepMode::Warm, key)) ==
+                fresh);
+
+    // Cold mode boots its own master, measures the same numbers, and
+    // caches under a distinct entry.
+    const wl::Calibration &cold =
+        wl::calibrationFor(wl::SweepMode::Cold, key);
+    EXPECT_NE(&cold, &cached);
+    EXPECT_TRUE(cold == cached);
+
+    // Sanity: the measured models are physically plausible.
+    for (const wl::EpisodeModel &m : cached.kinds) {
+        EXPECT_GT(m.energyPerByteUj, 0.0);
+        EXPECT_GT(m.latencyPerByteUs, 0.0);
+    }
+}
+
+TEST(Fleet, DiurnalModulationIsDeterministicAndJobsInvariant)
+{
+    sim::ScopedLogConfig quiet(sim::LogLevel::Quiet);
+    wl::FleetConfig cfg;
+    cfg.devices = 300;
+    cfg.hours = 6.0;
+    cfg.seed = 7;
+    cfg.jobs = 1;
+    const wl::FleetResult base = wl::runFleet(cfg);
+    // The unmodulated artifact never mentions the flag (byte-identical
+    // to builds predating it).
+    EXPECT_EQ(base.text.find("diurnal"), std::string::npos);
+
+    cfg.diurnal = 0.5;
+    const wl::FleetResult mod = wl::runFleet(cfg);
+    EXPECT_NE(mod.json, base.json);
+    EXPECT_NE(mod.text.find("diurnal=0.500"), std::string::npos);
+
+    // Same determinism contract as the unmodulated path.
+    cfg.jobs = 13;
+    const wl::FleetResult mod13 = wl::runFleet(cfg);
+    EXPECT_EQ(mod.text, mod13.text);
+    EXPECT_EQ(mod.json, mod13.json);
+    cfg.jobs = 1;
+    EXPECT_EQ(wl::runFleet(cfg).json, mod.json);
+
+    // The amplitude participates in the draw, not just the header.
+    cfg.diurnal = 0.2;
+    const wl::FleetResult mild = wl::runFleet(cfg);
+    EXPECT_NE(mild.json, mod.json);
+    EXPECT_NE(mild.json, base.json);
 }
 
 TEST(Fleet, SeedAndMixChangeTheReport)

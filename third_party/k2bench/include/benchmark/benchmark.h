@@ -1,0 +1,239 @@
+/**
+ * @file
+ * k2bench: a bundled, Release-built micro-benchmark harness exposing
+ * the subset of the Google Benchmark API this repo uses.
+ *
+ * Why it exists: the container's system libbenchmark is a binary-only
+ * Debian package compiled without NDEBUG -- it stamps
+ * `"library_build_type": "debug"` into every JSON baseline, and its
+ * sources are not on disk, so it cannot be rebuilt Release. Baselines
+ * measured through a debug harness are not trustworthy, and
+ * scripts/run_bench.sh refuses them. k2bench is always compiled
+ * optimized with NDEBUG (see third_party/k2bench/CMakeLists.txt), so
+ * the harness around the timed region is never the debug build the
+ * guard exists to catch. `-DK2_SYSTEM_BENCHMARK=ON` switches back to
+ * the system library for cross-checking.
+ *
+ * Compatibility surface (kept source-compatible with Google Benchmark
+ * so bench/micro_sim.cpp builds against either):
+ *  - BENCHMARK(fn), ->Arg(n), ->Unit(u)
+ *  - for (auto _ : state) iteration protocol with auto-scaled
+ *    iteration counts targeting --benchmark_min_time seconds
+ *  - State::{range, iterations, counters, SetItemsProcessed,
+ *    PauseTiming, ResumeTiming}
+ *  - Counter, DoNotOptimize, AddCustomContext, Initialize,
+ *    ReportUnrecognizedArguments, RunSpecifiedBenchmarks, Shutdown
+ *  - --benchmark_format=console|json, --benchmark_out=FILE,
+ *    --benchmark_out_format=json, --benchmark_min_time=SECS,
+ *    --benchmark_filter=REGEX
+ *
+ * JSON output matches the Google Benchmark schema closely enough for
+ * scripts/compare_bench.py: a `context` object (including
+ * library_build_type and any custom context) and a `benchmarks` array
+ * with name/run_type/iterations/real_time/cpu_time/time_unit plus
+ * flattened user counters. items_per_second follows Google
+ * Benchmark's convention of dividing by *CPU* time.
+ */
+
+#ifndef K2BENCH_BENCHMARK_H
+#define K2BENCH_BENCHMARK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace benchmark {
+
+enum TimeUnit
+{
+    kNanosecond,
+    kMicrosecond,
+    kMillisecond,
+    kSecond,
+};
+
+/** A user counter reported alongside the timing columns. */
+class Counter
+{
+  public:
+    Counter(double v = 0.0) : value(v) {}
+    double value;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+using IterationCount = std::int64_t;
+
+class State;
+
+namespace internal {
+
+class Runner;
+
+using Function = void (*)(State &);
+
+/** One registered benchmark (possibly expanded per ->Arg()). */
+class Benchmark
+{
+  public:
+    Benchmark *Arg(std::int64_t arg);
+    Benchmark *Unit(TimeUnit unit);
+
+  private:
+    friend class Runner;
+    friend Benchmark *RegisterBenchmarkInternal(const char *name,
+                                                Function fn);
+    explicit Benchmark(const char *name, Function fn);
+
+    std::string name_;
+    Function fn_;
+    TimeUnit unit_ = kNanosecond;
+    // Each entry is one run variant; kNoArg means "no /arg suffix".
+    static constexpr std::int64_t kNoArg = INT64_MIN;
+    std::int64_t args_[8];
+    int nargs_ = 0;
+};
+
+Benchmark *RegisterBenchmarkInternal(const char *name, Function fn);
+
+} // namespace internal
+
+/**
+ * Per-run benchmark state: the ranged-for protocol starts the timers
+ * on begin() and stops them when the iteration budget is exhausted.
+ */
+class State
+{
+  public:
+    struct iterator
+    {
+        State *state;
+        IterationCount remaining;
+
+        iterator &
+        operator++()
+        {
+            --remaining;
+            return *this;
+        }
+        bool
+        operator!=(const iterator &) const
+        {
+            if (remaining > 0)
+                return true;
+            state->finishRun();
+            return false;
+        }
+        // The unused attribute keeps `for (auto _ : state)` from
+        // tripping -Wunused-but-set-variable on the discarded value.
+#if defined(__GNUC__) || defined(__clang__)
+        struct [[gnu::unused]] Value
+        {
+        };
+#else
+        struct Value
+        {
+        };
+#endif
+        Value operator*() const { return {}; }
+    };
+
+    iterator
+    begin()
+    {
+        startRun();
+        return {this, maxIterations_};
+    }
+    iterator end() { return {this, 0}; }
+
+    /** The ->Arg() value for this run. */
+    std::int64_t range(std::size_t i = 0) const;
+
+    /** Iteration budget of the current (final) run. */
+    IterationCount iterations() const { return maxIterations_; }
+
+    void SetItemsProcessed(std::int64_t items) { items_ = items; }
+
+    /** Exclude a region from the measured time. @{ */
+    void PauseTiming();
+    void ResumeTiming();
+    /** @} */
+
+    UserCounters counters;
+
+  private:
+    friend class internal::Runner;
+
+    explicit State(IterationCount maxIterations, std::int64_t arg,
+                   bool hasArg);
+
+    void startRun();
+    void finishRun();
+
+    IterationCount maxIterations_;
+    std::int64_t arg_;
+    bool hasArg_;
+    std::int64_t items_ = 0;
+    double realNs_ = 0.0; //!< Accumulated measured real time.
+    double cpuNs_ = 0.0;  //!< Accumulated measured CPU time.
+    double realStart_ = 0.0;
+    double cpuStart_ = 0.0;
+    bool timing_ = false;
+};
+
+/** Compiler barrier: force @p value to be materialised. @{ */
+template <class Tp>
+inline void
+DoNotOptimize(Tp &value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : "+m,r"(value) : : "memory");
+#else
+    (void)value;
+#endif
+}
+
+template <class Tp>
+inline void
+DoNotOptimize(Tp const &value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "r,m"(value) : "memory");
+#else
+    (void)value;
+#endif
+}
+
+template <class Tp>
+inline void
+DoNotOptimize(Tp &&value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    // "+m" (not "+r"): the materialised temporary may be a class
+    // type a register constraint cannot satisfy.
+    asm volatile("" : "+m"(value) : : "memory");
+#else
+    (void)value;
+#endif
+}
+/** @} */
+
+/** Add a key to the JSON `context` object (call before Initialize). */
+void AddCustomContext(const std::string &key, const std::string &value);
+
+void Initialize(int *argc, char **argv);
+bool ReportUnrecognizedArguments(int argc, char **argv);
+std::size_t RunSpecifiedBenchmarks();
+void Shutdown();
+
+} // namespace benchmark
+
+#define K2BENCH_CONCAT2(a, b) a##b
+#define K2BENCH_CONCAT(a, b) K2BENCH_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                                  \
+    [[maybe_unused]] static ::benchmark::internal::Benchmark            \
+        *K2BENCH_CONCAT(k2bench_reg_, __LINE__) =                      \
+            ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#endif // K2BENCH_BENCHMARK_H

@@ -1,0 +1,480 @@
+#include "benchmark/benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+namespace benchmark {
+namespace internal {
+
+namespace {
+
+double
+nowRealNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+}
+
+double
+nowCpuNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+}
+
+const char *
+unitName(TimeUnit u)
+{
+    switch (u) {
+      case kNanosecond:
+        return "ns";
+      case kMicrosecond:
+        return "us";
+      case kMillisecond:
+        return "ms";
+      case kSecond:
+        return "s";
+    }
+    return "ns";
+}
+
+double
+unitScale(TimeUnit u) // ns -> unit
+{
+    switch (u) {
+      case kNanosecond:
+        return 1.0;
+      case kMicrosecond:
+        return 1e-3;
+      case kMillisecond:
+        return 1e-6;
+      case kSecond:
+        return 1e-9;
+    }
+    return 1.0;
+}
+
+struct Options
+{
+    std::string format = "console";
+    std::string out;
+    std::string outFormat = "json";
+    std::string filter;
+    double minTime = 0.5;
+};
+
+struct RunResult
+{
+    std::string name;
+    std::int64_t familyIndex = 0;
+    std::int64_t instanceIndex = 0;
+    IterationCount iterations = 0;
+    double realNsPerIter = 0.0;
+    double cpuNsPerIter = 0.0;
+    TimeUnit unit = kNanosecond;
+    double itemsPerSecond = 0.0;
+    bool hasItems = false;
+    UserCounters counters;
+};
+
+Options g_options;
+std::vector<Benchmark *> &
+registry()
+{
+    static std::vector<Benchmark *> r;
+    return r;
+}
+std::vector<std::pair<std::string, std::string>> g_customContext;
+std::string g_executable = "?";
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // JSON has no inf/nan literals.
+    if (!std::strchr(buf, 'n') && !std::strchr(buf, 'i'))
+        return buf;
+    return "0";
+}
+
+} // namespace
+
+Benchmark::Benchmark(const char *name, Function fn)
+    : name_(name), fn_(fn)
+{
+}
+
+Benchmark *
+Benchmark::Arg(std::int64_t arg)
+{
+    if (nargs_ < static_cast<int>(sizeof args_ / sizeof args_[0]))
+        args_[nargs_++] = arg;
+    return this;
+}
+
+Benchmark *
+Benchmark::Unit(TimeUnit unit)
+{
+    unit_ = unit;
+    return this;
+}
+
+Benchmark *
+RegisterBenchmarkInternal(const char *name, Function fn)
+{
+    auto *b = new Benchmark(name, fn);
+    registry().push_back(b);
+    return b;
+}
+
+/** Executes registered benchmarks and renders reports. */
+class Runner
+{
+  public:
+    static RunResult
+    runOne(const Benchmark &b, std::int64_t arg, bool hasArg)
+    {
+        constexpr IterationCount kMaxIters = 1000000000;
+        IterationCount iters = 1;
+        for (;;) {
+            State st(iters, arg, hasArg);
+            b.fn_(st);
+            const double realSec = st.realNs_ * 1e-9;
+            if (realSec >= g_options.minTime || iters >= kMaxIters) {
+                RunResult res;
+                res.name = b.name_;
+                if (hasArg)
+                    res.name += "/" + std::to_string(arg);
+                res.iterations = iters;
+                res.realNsPerIter =
+                    st.realNs_ / static_cast<double>(iters);
+                res.cpuNsPerIter =
+                    st.cpuNs_ / static_cast<double>(iters);
+                res.unit = b.unit_;
+                res.counters = st.counters;
+                if (st.items_ > 0) {
+                    res.hasItems = true;
+                    const double cpuSec = st.cpuNs_ * 1e-9;
+                    res.itemsPerSecond =
+                        cpuSec > 0
+                            ? static_cast<double>(st.items_) / cpuSec
+                            : 0.0;
+                }
+                return res;
+            }
+            // Google-Benchmark-style growth: overshoot the target by
+            // 40%, never more than 10x at once.
+            const double mult = std::min(
+                10.0, g_options.minTime * 1.4 /
+                          std::max(realSec, 1e-9));
+            const auto next = static_cast<IterationCount>(
+                static_cast<double>(iters) * std::max(mult, 1.2));
+            iters = std::min(kMaxIters, std::max(iters + 1, next));
+        }
+    }
+
+    static std::vector<RunResult>
+    runAll()
+    {
+        std::vector<RunResult> results;
+        std::regex filter(g_options.filter.empty() ? "."
+                                                   : g_options.filter);
+        std::int64_t family = 0;
+        for (const Benchmark *b : registry()) {
+            std::int64_t instance = 0;
+            const int variants = std::max(b->nargs_, 1);
+            for (int i = 0; i < variants; ++i) {
+                const bool hasArg = b->nargs_ > 0;
+                const std::int64_t arg = hasArg ? b->args_[i] : 0;
+                std::string name = b->name_;
+                if (hasArg)
+                    name += "/" + std::to_string(arg);
+                if (!std::regex_search(name, filter))
+                    continue;
+                RunResult res = runOne(*b, arg, hasArg);
+                res.familyIndex = family;
+                res.instanceIndex = instance++;
+                results.push_back(std::move(res));
+            }
+            ++family;
+        }
+        return results;
+    }
+
+    static void
+    renderConsole(const std::vector<RunResult> &results, FILE *to)
+    {
+        std::size_t width = 10;
+        for (const RunResult &r : results)
+            width = std::max(width, r.name.size());
+        std::fprintf(to, "%-*s %15s %15s %12s\n",
+                     static_cast<int>(width), "Benchmark", "Time",
+                     "CPU", "Iterations");
+        for (const RunResult &r : results) {
+            const double scale = unitScale(r.unit);
+            std::string extra;
+            if (r.hasItems)
+                extra += " items_per_second=" +
+                         std::to_string(r.itemsPerSecond);
+            for (const auto &kv : r.counters)
+                extra += " " + kv.first + "=" +
+                         std::to_string(kv.second.value);
+            std::fprintf(to, "%-*s %13.1f %s %13.1f %s %12lld%s\n",
+                         static_cast<int>(width), r.name.c_str(),
+                         r.realNsPerIter * scale, unitName(r.unit),
+                         r.cpuNsPerIter * scale, unitName(r.unit),
+                         static_cast<long long>(r.iterations),
+                         extra.c_str());
+        }
+    }
+
+    static std::string
+    renderJson(const std::vector<RunResult> &results)
+    {
+        std::ostringstream os;
+        char date[64] = "1970-01-01T00:00:00+00:00";
+        const std::time_t t = std::time(nullptr);
+        std::tm tm{};
+        if (gmtime_r(&t, &tm))
+            std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S+00:00",
+                          &tm);
+        char host[256] = "?";
+        gethostname(host, sizeof host - 1);
+        double load[3] = {0, 0, 0};
+        getloadavg(load, 3);
+
+        os << "{\n  \"context\": {\n";
+        os << "    \"date\": \"" << date << "\",\n";
+        os << "    \"host_name\": \"" << jsonEscape(host) << "\",\n";
+        os << "    \"executable\": \"" << jsonEscape(g_executable)
+           << "\",\n";
+        os << "    \"num_cpus\": " << sysconf(_SC_NPROCESSORS_ONLN)
+           << ",\n";
+        os << "    \"mhz_per_cpu\": " << cpuMhz() << ",\n";
+        os << "    \"cpu_scaling_enabled\": false,\n";
+        os << "    \"caches\": [],\n";
+        os << "    \"load_avg\": [" << fmtDouble(load[0]) << ","
+           << fmtDouble(load[1]) << "," << fmtDouble(load[2])
+           << "],\n";
+#ifdef NDEBUG
+        os << "    \"library_build_type\": \"release\"";
+#else
+        os << "    \"library_build_type\": \"debug\"";
+#endif
+        for (const auto &kv : g_customContext)
+            os << ",\n    \"" << jsonEscape(kv.first) << "\": \""
+               << jsonEscape(kv.second) << "\"";
+        os << "\n  },\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const RunResult &r = results[i];
+            const double scale = unitScale(r.unit);
+            os << "    {\n";
+            os << "      \"name\": \"" << jsonEscape(r.name)
+               << "\",\n";
+            os << "      \"family_index\": " << r.familyIndex
+               << ",\n";
+            os << "      \"per_family_instance_index\": "
+               << r.instanceIndex << ",\n";
+            os << "      \"run_name\": \"" << jsonEscape(r.name)
+               << "\",\n";
+            os << "      \"run_type\": \"iteration\",\n";
+            os << "      \"repetitions\": 1,\n";
+            os << "      \"repetition_index\": 0,\n";
+            os << "      \"threads\": 1,\n";
+            os << "      \"iterations\": " << r.iterations << ",\n";
+            os << "      \"real_time\": "
+               << fmtDouble(r.realNsPerIter * scale) << ",\n";
+            os << "      \"cpu_time\": "
+               << fmtDouble(r.cpuNsPerIter * scale) << ",\n";
+            os << "      \"time_unit\": \"" << unitName(r.unit)
+               << "\"";
+            for (const auto &kv : r.counters)
+                os << ",\n      \"" << jsonEscape(kv.first)
+                   << "\": " << fmtDouble(kv.second.value);
+            if (r.hasItems)
+                os << ",\n      \"items_per_second\": "
+                   << fmtDouble(r.itemsPerSecond);
+            os << "\n    }" << (i + 1 < results.size() ? "," : "")
+               << "\n";
+        }
+        os << "  ]\n}\n";
+        return os.str();
+    }
+
+  private:
+    static long
+    cpuMhz()
+    {
+        std::ifstream in("/proc/cpuinfo");
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("cpu MHz", 0) == 0) {
+                const std::size_t colon = line.find(':');
+                if (colon != std::string::npos)
+                    return std::lround(
+                        std::strtod(line.c_str() + colon + 1,
+                                    nullptr));
+            }
+        }
+        return 0;
+    }
+};
+
+} // namespace internal
+
+State::State(IterationCount maxIterations, std::int64_t arg,
+             bool hasArg)
+    : maxIterations_(maxIterations), arg_(arg), hasArg_(hasArg)
+{
+}
+
+std::int64_t
+State::range(std::size_t i) const
+{
+    (void)i;
+    if (!hasArg_) {
+        std::fprintf(stderr,
+                     "k2bench: State::range() without ->Arg()\n");
+        std::abort();
+    }
+    return arg_;
+}
+
+void
+State::startRun()
+{
+    realNs_ = cpuNs_ = 0.0;
+    timing_ = true;
+    cpuStart_ = internal::nowCpuNs();
+    realStart_ = internal::nowRealNs();
+}
+
+void
+State::finishRun()
+{
+    if (timing_)
+        PauseTiming();
+}
+
+void
+State::PauseTiming()
+{
+    const double realEnd = internal::nowRealNs();
+    const double cpuEnd = internal::nowCpuNs();
+    realNs_ += realEnd - realStart_;
+    cpuNs_ += cpuEnd - cpuStart_;
+    timing_ = false;
+}
+
+void
+State::ResumeTiming()
+{
+    timing_ = true;
+    cpuStart_ = internal::nowCpuNs();
+    realStart_ = internal::nowRealNs();
+}
+
+void
+AddCustomContext(const std::string &key, const std::string &value)
+{
+    internal::g_customContext.emplace_back(key, value);
+}
+
+void
+Initialize(int *argc, char **argv)
+{
+    if (*argc > 0)
+        internal::g_executable = argv[0];
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eat = [&arg](const char *prefix,
+                                std::string &into) {
+            const std::size_t n = std::strlen(prefix);
+            if (arg.compare(0, n, prefix) != 0)
+                return false;
+            into = arg.substr(n);
+            return true;
+        };
+        std::string v;
+        if (eat("--benchmark_format=", internal::g_options.format) ||
+            eat("--benchmark_out=", internal::g_options.out) ||
+            eat("--benchmark_out_format=",
+                internal::g_options.outFormat) ||
+            eat("--benchmark_filter=", internal::g_options.filter))
+            continue;
+        if (eat("--benchmark_min_time=", v)) {
+            internal::g_options.minTime =
+                std::strtod(v.c_str(), nullptr);
+            if (!(internal::g_options.minTime > 0))
+                internal::g_options.minTime = 0.5;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    *argc = out;
+}
+
+bool
+ReportUnrecognizedArguments(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        std::fprintf(stderr, "k2bench: unrecognized argument '%s'\n",
+                     argv[i]);
+    return argc > 1;
+}
+
+std::size_t
+RunSpecifiedBenchmarks()
+{
+    const std::vector<internal::RunResult> results =
+        internal::Runner::runAll();
+    if (internal::g_options.format == "json")
+        std::fputs(internal::Runner::renderJson(results).c_str(),
+                   stdout);
+    else
+        internal::Runner::renderConsole(results, stdout);
+    if (!internal::g_options.out.empty()) {
+        std::ofstream os(internal::g_options.out,
+                         std::ios::binary);
+        os << internal::Runner::renderJson(results);
+        if (!os.good())
+            std::fprintf(stderr, "k2bench: cannot write '%s'\n",
+                         internal::g_options.out.c_str());
+    }
+    return results.size();
+}
+
+void
+Shutdown()
+{
+}
+
+} // namespace benchmark
