@@ -20,6 +20,18 @@
  *     restart latencies and the re-owned DSM pages / replayed
  *     services.
  *
+ *  3. replication degree x crash: N in {1, 2, 3} shadow replicas, with
+ *     and without the crash. A probe pump spawns one shadowed request
+ *     every 2 ms across a window bracketing the crash; each probe does
+ *     real service work (an ext2 write) and records which kernel served
+ *     it. Availability is the fraction of probes served on a weak
+ *     domain rather than degraded to the strong one; the table adds the
+ *     election latency, quorum losses, and the energy drawn during the
+ *     probe window. Expected shape: at N=3 a single crash never costs
+ *     quorum, so availability stays 100% through election + handoff and
+ *     the window energy stays low (no probe burns strong-domain power);
+ *     N=1 and N=2 degrade for the restart window.
+ *
  * Every cell runs the same mixed episode pattern: one warmup plus four
  * measured episodes, the second of which runs as a Normal thread on
  * the main domain. The main-domain episode matters twice over: it
@@ -36,9 +48,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "fault/plan.h"
+#include "soc/power.h"
 #include "obs/metrics.h"
 #include "workloads/benchmarks.h"
 #include "workloads/episode.h"
@@ -148,6 +163,12 @@ crashPlan()
     return plan;
 }
 
+/** Replication-degree sweep: probe cadence bracketing the t=12s crash. */
+constexpr std::size_t kReplicaDegrees[] = {1, 2, 3};
+constexpr int kNumProbes = 200;
+const sim::Duration kProbePeriod = sim::msec(2);
+const sim::Time kProbeWindowStart = sim::sec(12) - sim::msec(50);
+
 std::uint64_t
 counterOf(const obs::MetricsSnapshot &snap, const std::string &name)
 {
@@ -225,6 +246,114 @@ runCase(wl::SweepMode sweep, const std::string &key, WorkloadKind wk,
     out.downMs = std::isnan(down_us) ? down_us : down_us / 1e3;
 }
 
+struct ReplicaCell
+{
+    std::uint64_t probes = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t elections = 0;
+    std::uint64_t quorumLosses = 0;
+    double electionUs = std::nan("");
+    double downMs = std::nan("");
+    double windowUj = 0;
+};
+
+void
+runReplicaCase(wl::SweepMode sweep, std::size_t n, bool crash,
+               ReplicaCell &out)
+{
+    const std::string key = "k2-replicas-" + std::to_string(n) +
+                            (crash ? "-crash" : "");
+    auto &tb = wl::warmK2(sweep, key, [n, crash] {
+        os::K2Config cfg;
+        cfg.replicas = n;
+        if (crash)
+            cfg.faults = crashPlan();
+        return cfg;
+    });
+    obs::MetricsRegistry reg;
+    tb.registerMetrics(reg);
+
+    // Probes go into their own process: NightWatch gating suspends the
+    // owning process's Normal threads against the shadow kernel, and
+    // the pump must keep pumping while that kernel is dead.
+    auto &sink = tb.sys().createProcess("probe-sink");
+    const std::vector<std::uint8_t> blk(1024, 0x5A);
+    // Strong-domain monitor: every 20ms it writes a small record
+    // through the shared fs (a watcher summarizing what the light
+    // tasks produced). This is the cross-domain traffic that exposes
+    // a fail-silent shadow crash when there is no replica fan-out
+    // (n == 1), and it runs in its own thread so a wedged fs op --
+    // e.g. queued behind a dead replica holding the fs spinlock --
+    // never stalls the probe arrival process below.
+    tb.sys().spawnNormal(
+        tb.proc(), "monitor", [&](kern::Thread &t) -> sim::Task<void> {
+            if (t.kernel().engine().now() < kProbeWindowStart)
+                co_await t.sleep(kProbeWindowStart -
+                                 t.kernel().engine().now());
+            for (int i = 0; i < kNumProbes / 10; ++i) {
+                const std::string path = "/mon-" + std::to_string(i);
+                const auto fd = co_await tb.fs().create(t, path);
+                if (fd >= 0) {
+                    co_await tb.fs().write(
+                        t, static_cast<int>(fd),
+                        std::span<const std::uint8_t>(blk.data(), 256));
+                    co_await tb.fs().close(t, static_cast<int>(fd));
+                }
+                co_await t.sleep(kProbePeriod * 10);
+            }
+        });
+    tb.sys().spawnNormal(
+        tb.proc(), "pump", [&](kern::Thread &t) -> sim::Task<void> {
+            if (t.kernel().engine().now() < kProbeWindowStart) {
+                co_await t.sleep(kProbeWindowStart -
+                                 t.kernel().engine().now());
+            }
+            const soc::EnergyMeter::Snapshot e0 =
+                tb.sys().soc().meter().snapshot();
+            for (int i = 0; i < kNumProbes; ++i) {
+                tb.sys().spawnNightWatch(
+                    sink, "probe",
+                    [&, i](kern::Thread &p) -> sim::Task<void> {
+                        ++out.probes;
+                        if (p.kernel().name() == "main")
+                            ++out.degraded;
+                        // Real service work: the ext2 write pulls
+                        // shared pages through the DSM, which is also
+                        // the cross-domain traffic that exposes a
+                        // fail-silent crash.
+                        const std::string path =
+                            "/probe-" + std::to_string(i);
+                        const auto fd =
+                            co_await tb.fs().create(p, path);
+                        if (fd < 0)
+                            co_return;
+                        co_await tb.fs().write(
+                            p, static_cast<int>(fd),
+                            std::span<const std::uint8_t>(blk));
+                        co_await tb.fs().close(p,
+                                               static_cast<int>(fd));
+                    });
+                co_await t.sleep(kProbePeriod);
+            }
+            // Let straggler probes (those parked across the restart
+            // window) finish inside the measured window.
+            co_await t.sleep(sim::msec(50));
+            out.windowUj = e0.totalUj(tb.sys().soc().meter());
+        });
+    tb.engine().run();
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    out.crashes = counterOf(snap, "os.recovery.crashes_detected");
+    out.restarts = counterOf(snap, "os.recovery.restarts");
+    out.elections = counterOf(snap, "os.replica.elections");
+    out.quorumLosses = counterOf(snap, "os.replica.quorum_losses");
+    out.electionUs = histMean(snap, "os.replica.election_us");
+    const double down_us = histMean(snap, "os.recovery.down_us");
+    out.downMs = std::isnan(down_us) ? down_us : down_us / 1e3;
+}
+
 std::string
 degradation(double base_mbj, double mbj)
 {
@@ -273,6 +402,17 @@ main(int argc, char **argv)
                     [] { return crashPlan(); }, *cell);
         });
     }
+    constexpr std::size_t kNumDegrees = std::size(kReplicaDegrees);
+    std::vector<ReplicaCell> replicaCells(kNumDegrees * 2);
+    for (std::size_t d = 0; d < kNumDegrees; ++d) {
+        for (int crash = 0; crash < 2; ++crash) {
+            ReplicaCell *cell = &replicaCells[d * 2 + crash];
+            const std::size_t n = kReplicaDegrees[d];
+            runner.submit([n, crash, cell, sweep]() {
+                runReplicaCase(sweep, n, crash != 0, *cell);
+            });
+        }
+    }
     runner.run();
 
     wl::Table table({"workload", "fault rate", "MB/J", "vs rate 0",
@@ -310,6 +450,40 @@ main(int argc, char **argv)
                       wl::fmt(c.detectMs, 2), wl::fmt(c.downMs, 2)});
     }
     crash.print();
+
+    wl::banner("Replication degree x crash (200 probes @2ms around "
+               "t=12s)");
+    wl::Table rep({"replicas", "fault", "availability", "degraded",
+                   "crashes", "elections", "election us",
+                   "quorum losses", "window mJ", "crash cost mJ",
+                   "down ms"});
+    for (std::size_t d = 0; d < kNumDegrees; ++d) {
+        for (int crash = 0; crash < 2; ++crash) {
+            const ReplicaCell &c = replicaCells[d * 2 + crash];
+            const ReplicaCell &base = replicaCells[d * 2];
+            const double avail =
+                c.probes ? 100.0 *
+                               static_cast<double>(c.probes - c.degraded) /
+                               static_cast<double>(c.probes)
+                         : std::nan("");
+            rep.addRow({std::to_string(kReplicaDegrees[d]),
+                        crash ? "crash" : "none",
+                        wl::fmt(avail, 1) + "%",
+                        std::to_string(c.degraded) + "/" +
+                            std::to_string(c.probes),
+                        std::to_string(c.crashes),
+                        std::to_string(c.elections),
+                        wl::fmt(c.electionUs, 1),
+                        std::to_string(c.quorumLosses),
+                        wl::fmt(c.windowUj / 1e3, 2),
+                        crash ? wl::fmt((c.windowUj - base.windowUj) /
+                                            1e3,
+                                        2)
+                              : std::string("-"),
+                        wl::fmt(c.downMs, 2)});
+        }
+    }
+    rep.print();
 
     std::printf("\nexpected shape: degradation grows with the fault "
                 "rate but stays small at 1e-3 (retransmits and DMA "

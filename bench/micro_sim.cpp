@@ -29,8 +29,10 @@
 #include "soc/mmu.h"
 #include "kern/buddy.h"
 #include "kern/kernel.h"
+#include "os/k2_system.h"
 #include "os/messages.h"
 #include "os/reliable_mail.h"
+#include "os/replica.h"
 #include "workloads/benchmarks.h"
 #include "workloads/episode.h"
 #include "workloads/fleet.h"
@@ -356,6 +358,43 @@ BM_ReliableMailRoundtrip(benchmark::State &state)
     benchmark::DoNotOptimize(delivered);
 }
 BENCHMARK(BM_ReliableMailRoundtrip);
+
+/**
+ * Host-side cost of one replicated-shadow vote round at N=3: the
+ * coordinator fans a tracked ReplicaReq out to all three replicas,
+ * each answers with an untracked digest ballot, the round closes on
+ * the vote timer, and the event queue drains back to quiescence.
+ * Bounds how much --replicas=3 slows a sweep cell per shadowed
+ * request (host time; the modelled cost is the ablation's job).
+ */
+void
+BM_ReplicaVoteRoundtrip(benchmark::State &state)
+{
+    os::K2Config cfg;
+    cfg.replicas = 3;
+    auto tb = wl::Testbed::makeK2(cfg);
+    tb.engine().run();
+    os::ReplicaGroup &group = *tb.k2()->replicaGroup();
+    for (auto _ : state) {
+        group.noteRequest();
+        tb.engine().run();
+    }
+    const auto iters = static_cast<std::uint64_t>(state.iterations());
+    if (group.requests() != iters ||
+        group.votesReceived() != 3 * iters || group.votesAbsent() != 0) {
+        std::fprintf(stderr,
+                     "FATAL: vote rounds broke: %llu reqs, %llu votes, "
+                     "%llu absent\n",
+                     static_cast<unsigned long long>(group.requests()),
+                     static_cast<unsigned long long>(
+                         group.votesReceived()),
+                     static_cast<unsigned long long>(
+                         group.votesAbsent()));
+        std::abort();
+    }
+    benchmark::DoNotOptimize(group.votesReceived());
+}
+BENCHMARK(BM_ReplicaVoteRoundtrip);
 
 void
 BM_TlbLookup(benchmark::State &state)

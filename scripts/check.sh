@@ -71,6 +71,11 @@ if [ "$MODE" = "--tsan" ]; then
     # faulty sweep across threads to race-check it too.
     "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
         --faults="mailbox.drop:p=0.2,mailbox.dup:p=0.1" >/dev/null
+    # Replicated shadows add a vote/election plane on top of the fault
+    # plane; shard a leader-crash sweep to race-check it.
+    "$BUILD_DIR"/src/workloads/testbed --episodes=3 --runs=4 --jobs=13 \
+        --replicas=3 --faults="domain.crash:at=5ms:dom=1:len=2ms" \
+        >/dev/null
     # Warm (boot-once snapshot/fork) vs cold sweeps must emit
     # byte-identical artifacts even at an adversarial thread count.
     "$BUILD_DIR"/bench/fig6a_dma_energy --sweep=warm --jobs=13 \
@@ -137,6 +142,40 @@ bad = [k for k in m
 assert not bad, f"fault plane armed without --faults: {bad}"
 EOF
 echo "fault smoke: injection + ARQ recovery + disarmed guard OK"
+
+# Replication smoke: with 3 replicas, crashing the initial leader must
+# trigger exactly one election and one rejoin+resync, keep a quorum
+# throughout, and leave the service fully available (no degraded
+# spawns). Deterministic, so the assertions are exact.
+"$BUILD_DIR"/src/workloads/testbed --system=k2 --episodes=6 \
+    --replicas=3 --faults="domain.crash:at=5ms:dom=1:len=2ms" \
+    --metrics="$OBS_DIR/metrics_replica.json" >/dev/null
+python3 - "$OBS_DIR/metrics_replica.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+v = lambda k: m["os.replica." + k]["value"]
+assert v("elections") == 1, "leader crash must trigger one election"
+assert v("election_oks") == 1, "election never completed"
+assert v("rejoins") == 1, "revived replica never rejoined"
+assert v("resyncs") == 1 and v("resync_pages") > 0, "no rejoin re-sync"
+assert v("quorum_losses") == 0, "3-way group lost quorum on one crash"
+assert v("degraded_spawns") == 0, "service degraded despite quorum"
+assert v("vote_no_quorum") == 0, "a vote round failed quorum"
+assert v("live") == 3, "crashed replica not live again at exit"
+assert v("leader") != 0, "leadership never moved off the crashed replica"
+EOF
+# Replicated artifacts must stay byte-identical across shard counts
+# and warm/cold fixture modes, crash and all.
+REP_ARGS=(--episodes=3 --runs=4 --replicas=3
+          --faults="domain.crash:at=5ms:dom=1:len=2ms")
+"$BUILD_DIR"/src/workloads/testbed "${REP_ARGS[@]}" --jobs=4 \
+    > "$OBS_DIR/replica_j4.txt"
+"$BUILD_DIR"/src/workloads/testbed "${REP_ARGS[@]}" --jobs=1 \
+    | diff - "$OBS_DIR/replica_j4.txt"
+"$BUILD_DIR"/src/workloads/testbed "${REP_ARGS[@]}" --jobs=4 \
+    --sweep=cold | diff - "$OBS_DIR/replica_j4.txt"
+echo "replication smoke: election + handoff + rejoin re-sync +" \
+     "artifact determinism OK"
 
 # Snapshot smoke: the boot-once sweep mode (snap::Snapshot fork per
 # cell) must produce byte-identical artifacts to cold boots, serial

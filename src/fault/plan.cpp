@@ -47,24 +47,51 @@ isScheduledKind(FaultKind k)
            k == FaultKind::IrqSpurious;
 }
 
+/**
+ * Value parsers carry the value's character offset in the original
+ * spec so a rejected flag pinpoints the malformed field ("at char N"),
+ * not just its text -- specs are long enough that the same token can
+ * appear twice.
+ */
 std::uint64_t
-parseUint(const std::string &v, const char *key)
+parseUint(const std::string &v, const char *key, std::size_t at)
 {
     char *end = nullptr;
     const std::uint64_t r = std::strtoull(v.c_str(), &end, 10);
     if (end == v.c_str() || *end != '\0')
-        K2_FATAL("faults: bad integer '%s' for '%s'", v.c_str(), key);
+        K2_FATAL("faults: bad integer '%s' for '%s' at char %zu",
+                 v.c_str(), key, at);
     return r;
 }
 
 double
-parseDouble(const std::string &v, const char *key)
+parseDouble(const std::string &v, const char *key, std::size_t at)
 {
     char *end = nullptr;
     const double r = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
-        K2_FATAL("faults: bad number '%s' for '%s'", v.c_str(), key);
+        K2_FATAL("faults: bad number '%s' for '%s' at char %zu",
+                 v.c_str(), key, at);
     return r;
+}
+
+/** parseDuration with the spec offset appended to any rejection. */
+sim::Duration
+parseDurationAt(const std::string &text, const char *key,
+                std::size_t at)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || v < 0)
+        K2_FATAL("faults: bad duration '%s' for '%s' at char %zu",
+                 text.c_str(), key, at);
+    const std::string suffix(end);
+    if (suffix != "s" && !suffix.empty() && suffix != "ms" &&
+        suffix != "us" && suffix != "ns")
+        K2_FATAL("faults: bad duration suffix '%s' for '%s' at char "
+                 "%zu (want s/ms/us/ns)",
+                 suffix.c_str(), key, at);
+    return parseDuration(text);
 }
 
 } // namespace
@@ -113,6 +140,7 @@ FaultPlan::parse(const std::string &spec)
         std::size_t sep = spec.find_first_of(",:", pos);
         if (sep == std::string::npos)
             sep = spec.size();
+        const std::size_t tokenStart = pos;
         const std::string token = spec.substr(pos, sep - pos);
         pos = sep + 1;
         if (token.empty())
@@ -133,38 +161,44 @@ FaultPlan::parse(const std::string &spec)
 
         const std::size_t eq = token.find('=');
         if (eq == std::string::npos)
-            K2_FATAL("faults: '%s' is neither a fault kind nor key=value",
-                     token.c_str());
+            K2_FATAL("faults: '%s' at char %zu is neither a fault "
+                     "kind nor key=value",
+                     token.c_str(), tokenStart);
         const std::string key = token.substr(0, eq);
         const std::string val = token.substr(eq + 1);
+        const std::size_t valStart = tokenStart + eq + 1;
         if (key == "seed") {
-            plan.seed = parseUint(val, "seed");
+            plan.seed = parseUint(val, "seed", valStart);
             continue;
         }
         if (!cur)
-            K2_FATAL("faults: parameter '%s' before any fault kind",
-                     token.c_str());
+            K2_FATAL("faults: parameter '%s' at char %zu before any "
+                     "fault kind",
+                     token.c_str(), tokenStart);
         if (key == "p") {
-            cur->p = parseDouble(val, "p");
+            cur->p = parseDouble(val, "p", valStart);
             if (cur->p < 0.0 || cur->p > 1.0)
-                K2_FATAL("faults: p=%s out of [0,1]", val.c_str());
+                K2_FATAL("faults: p=%s at char %zu out of [0,1]",
+                         val.c_str(), valStart);
         } else if (key == "at") {
-            cur->at = parseDuration(val);
+            cur->at = parseDurationAt(val, "at", valStart);
         } else if (key == "burst") {
-            cur->burst =
-                static_cast<std::uint32_t>(parseUint(val, "burst"));
+            cur->burst = static_cast<std::uint32_t>(
+                parseUint(val, "burst", valStart));
             if (cur->burst == 0)
-                K2_FATAL("faults: burst must be >= 1");
+                K2_FATAL("faults: burst at char %zu must be >= 1",
+                         valStart);
         } else if (key == "len") {
-            cur->len = parseDuration(val);
+            cur->len = parseDurationAt(val, "len", valStart);
         } else if (key == "dom") {
-            cur->domain =
-                static_cast<std::uint32_t>(parseUint(val, "dom"));
+            cur->domain = static_cast<std::uint32_t>(
+                parseUint(val, "dom", valStart));
         } else if (key == "line") {
-            cur->line =
-                static_cast<std::uint32_t>(parseUint(val, "line"));
+            cur->line = static_cast<std::uint32_t>(
+                parseUint(val, "line", valStart));
         } else {
-            K2_FATAL("faults: unknown parameter '%s'", key.c_str());
+            K2_FATAL("faults: unknown parameter '%s' at char %zu",
+                     key.c_str(), tokenStart);
         }
     }
 

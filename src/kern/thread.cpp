@@ -19,6 +19,16 @@ Process::numNightWatch() const
 }
 
 void
+Thread::exitCritical()
+{
+    K2_ASSERT(critical_ > 0);
+    if (--critical_ == 0 && suspendPending_) {
+        suspendPending_ = false;
+        scheduler().setSuspended(*this, true);
+    }
+}
+
+void
 Process::snapState(snap::Io &io)
 {
     io.check(pid_, "Process::pid");

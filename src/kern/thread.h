@@ -151,6 +151,22 @@ class Thread
     bool suspended() const { return suspended_; }
     void setSuspended(bool s) { suspended_ = s; }
 
+    /** @name Critical sections (held cross-domain locks).
+     *
+     * A thread inside a critical section must not be suspended by
+     * NightWatch gating: it may hold a hardware spinlock, and parking
+     * it parks every waiter for the whole gated window (or forever,
+     * if the gate only lifts once the waiters run). Gating defers the
+     * suspension instead; it is applied when the section exits.
+     * @{ */
+    void enterCritical() { ++critical_; }
+    void exitCritical();
+    bool inCritical() const { return critical_ > 0; }
+    /** Ask to suspend as soon as the critical section exits. */
+    void deferSuspend() { suspendPending_ = true; }
+    void clearDeferredSuspend() { suspendPending_ = false; }
+    /** @} */
+
     /** True while a preemption/suspension check should park. */
     bool shouldPark() const;
 
@@ -213,6 +229,8 @@ class Thread
     Body body_;
     State state_ = State::Ready;
     bool suspended_ = false;
+    int critical_ = 0;            //!< Held critical-section depth.
+    bool suspendPending_ = false; //!< Gating wants us once critical_==0.
     bool queued_ = false;   //!< In the runqueue or gated list.
     bool everRan_ = false;  //!< Has been made ready at least once.
     sim::Time dispatchedAt_ = 0;

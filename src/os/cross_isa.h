@@ -18,6 +18,8 @@
 #ifndef K2_OS_CROSS_ISA_H
 #define K2_OS_CROSS_ISA_H
 
+#include <vector>
+
 #include "sim/stats.h"
 #include "sim/task.h"
 #include "soc/core.h"
@@ -39,19 +41,26 @@ class CrossIsaDispatcher
      */
     explicit CrossIsaDispatcher(kern::Kernel &shadow,
                                 sim::Duration per_dispatch = sim::usec(2))
-        : shadow_(&shadow), perDispatch_(per_dispatch)
+        : shadows_{&shadow}, perDispatch_(per_dispatch)
     {}
 
+    /** Register a further Thumb-2 kernel (a shadow replica) as a
+     *  trapping ISA. */
+    void addShadow(kern::Kernel &k) { shadows_.push_back(&k); }
+
     /**
-     * Charge @p n function-pointer dispatches if @p kern is the
-     * shadow kernel; free on the main kernel (native blx).
+     * Charge @p n function-pointer dispatches if @p kern is a shadow
+     * kernel; free on the main kernel (native blx).
      */
     sim::Task<void>
     charge(kern::Kernel &kern, soc::Core &core, std::uint64_t n = 1)
     {
-        if (&kern == shadow_ && n > 0) {
-            dispatches_.inc(n);
-            co_await core.execTime(perDispatch_ * n);
+        for (kern::Kernel *s : shadows_) {
+            if (&kern == s && n > 0) {
+                dispatches_.inc(n);
+                co_await core.execTime(perDispatch_ * n);
+                break;
+            }
         }
     }
 
@@ -62,7 +71,7 @@ class CrossIsaDispatcher
     void snapState(snap::Io &io) { io.pod(dispatches_); }
 
   private:
-    kern::Kernel *shadow_;
+    std::vector<kern::Kernel *> shadows_;
     sim::Duration perDispatch_;
     sim::Counter dispatches_;
 };

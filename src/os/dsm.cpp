@@ -285,7 +285,23 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
     // Serialise with a local fault in flight, except for a concurrent
     // Shared->Exclusive upgrade race, which we resolve by invalidating
     // the local copy and letting the local fault retry.
-    while (pi.outstanding[owner] && !pi.upgrade[owner]) {
+    //
+    // A *crossed* pair of exclusive faults -- both copies Invalid, each
+    // kernel waiting for the other's grant -- can only arise after
+    // crash recovery desynchronises ownership (reclaim forces the dead
+    // side Invalid mid-fault; its stale retransmitted Get later
+    // invalidates the survivor). Waiting here would then deadlock:
+    // this service waits for the local fault to settle, the local
+    // fault waits for a grant the peer's equally-parked service never
+    // sends. The weak side breaks the cycle the same way the upgrade
+    // race does: service immediately and let the local fault retry.
+    bool crossed = false;
+    for (;;) {
+        crossed = owner != 0 && pi.outstanding[owner] &&
+                  !pi.upgrade[owner] &&
+                  pi.state[owner] == PState::Invalid;
+        if (crossed || !pi.outstanding[owner] || pi.upgrade[owner])
+            break;
         co_await pi.settled->wait();
     }
 
@@ -315,7 +331,7 @@ Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
             (pi.state[owner] == PState::Invalid) ? PState::Invalid
                                                  : PState::Shared;
     } else {
-        if (pi.outstanding[owner] && pi.upgrade[owner])
+        if (pi.outstanding[owner] && (pi.upgrade[owner] || crossed))
             pi.raced[owner] = true;
         pi.state[owner] = PState::Invalid;
     }

@@ -1,5 +1,7 @@
 #include "os/k2_system.h"
 
+#include <algorithm>
+
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "sim/log.h"
@@ -32,16 +34,57 @@ class DsmSharedRegion : public SharedRegion
     kern::PageRange keys_;
 };
 
+/** SharedRegion backed by the N-kernel DSM (replicated mode). */
+class NDsmSharedRegion : public SharedRegion
+{
+  public:
+    NDsmSharedRegion(std::string name, NDsm &ndsm, kern::PageRange keys)
+        : SharedRegion(std::move(name), keys.count), ndsm_(ndsm),
+          keys_(keys)
+    {}
+
+    sim::Task<void>
+    touch(kern::Kernel &kern, soc::Core &core, std::uint64_t page_idx,
+          Access rw) override
+    {
+        K2_ASSERT(page_idx < keys_.count);
+        co_await ndsm_.access(kern, core, keys_.first + page_idx, rw);
+    }
+
+  private:
+    NDsm &ndsm_;
+    kern::PageRange keys_;
+};
+
 } // namespace
 
 K2System::K2System(K2Config cfg)
     : cfg_(std::move(cfg))
 {
+    const std::size_t replicas = std::max<std::size_t>(cfg_.replicas, 1);
+    if (replicas >= 2) {
+        // Clone the weak domain for the extra shadow replicas; their
+        // domain ids follow the configured domains.
+        K2_ASSERT(replicas <= 15);
+        K2_ASSERT(cfg_.soc.domains.size() > soc::kWeakDomain);
+        const soc::DomainSpec weak = cfg_.soc.domains[soc::kWeakDomain];
+        for (std::size_t i = 2; i <= replicas; ++i) {
+            soc::DomainSpec d = weak;
+            d.name = weak.name + std::to_string(i);
+            cfg_.soc.domains.push_back(d);
+        }
+    }
+    const soc::DomainId firstExtraDomain = static_cast<soc::DomainId>(
+        cfg_.soc.domains.size() - (replicas - 1));
+
     soc_ = std::make_unique<soc::Soc>(engine_, cfg_.soc);
 
     // The fault plane and the recovery protocols only exist when armed;
-    // a zero-fault run takes exactly the pre-fault code paths.
-    const bool armed = !cfg_.faults.empty() || cfg_.recovery.force;
+    // a zero-fault run takes exactly the pre-fault code paths. A
+    // replicated system is always armed: replication *is* a recovery
+    // protocol.
+    const bool armed = !cfg_.faults.empty() || cfg_.recovery.force ||
+                       replicas >= 2;
     for (const fault::FaultSpec &spec : cfg_.faults.specs()) {
         if (spec.kind == fault::FaultKind::DomainCrash &&
             spec.domain == soc::kStrongDomain) {
@@ -55,11 +98,15 @@ K2System::K2System(K2Config cfg)
         soc_->attachFaultInjector(injector_.get());
     }
 
+    std::vector<std::pair<std::string, std::uint64_t>> locals;
+    locals.emplace_back("shadow", cfg_.shadowLocalPages);
+    for (std::size_t i = 2; i <= replicas; ++i) {
+        locals.emplace_back("shadow" + std::to_string(i),
+                            cfg_.shadowLocalPages);
+    }
+    locals.emplace_back("main", cfg_.mainLocalPages);
     layout_ = std::make_unique<kern::AddressSpaceLayout>(
-        soc_->pageBytes(), soc_->numPages(),
-        std::vector<std::pair<std::string, std::uint64_t>>{
-            {"shadow", cfg_.shadowLocalPages},
-            {"main", cfg_.mainLocalPages}});
+        soc_->pageBytes(), soc_->numPages(), std::move(locals));
 
     main_ = std::make_unique<kern::Kernel>(*soc_, soc::kStrongDomain,
                                            "main");
@@ -67,20 +114,42 @@ K2System::K2System(K2Config cfg)
                                              "shadow");
     main_->boot();
     shadow_->boot();
+    for (std::size_t i = 2; i <= replicas; ++i) {
+        extras_.push_back(std::make_unique<kern::Kernel>(
+            *soc_, firstExtraDomain + static_cast<soc::DomainId>(i - 2),
+            "shadow" + std::to_string(i)));
+        extras_.back()->boot();
+        // Replica kernels draw pages from their own local region;
+        // the global region stays under the two-kernel meta manager.
+        extras_.back()->pageAllocator().addFreeRange(
+            layout_->localOf(extras_.back()->name()).pages);
+    }
+
+    std::vector<kern::Kernel *> allKernels{main_.get(), shadow_.get()};
+    for (auto &ex : extras_)
+        allKernels.push_back(ex.get());
 
     if (armed) {
-        reliable_ = std::make_unique<ReliableMail>(
-            std::vector<kern::Kernel *>{main_.get(), shadow_.get()},
-            cfg_.recovery.mail);
+        reliable_ = std::make_unique<ReliableMail>(allKernels,
+                                                   cfg_.recovery.mail);
         reliable_->install();
     }
 
-    dsm_ = std::make_unique<Dsm>(
-        *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
-        cfg_.dsmPages, cfg_.dsmProtocol, cfg_.dsmCosts);
-    if (armed) {
-        dsm_->setRetryPolicy({cfg_.recovery.dsmRetryTimeout,
-                              cfg_.recovery.dsmRetryMax});
+    if (replicas >= 2) {
+        // Shared regions span all kernels through the N-kernel DSM;
+        // grant retries are always on (a replica owner can crash).
+        ndsmR_ = std::make_unique<NDsm>(*soc_, allKernels, cfg_.dsmPages);
+        ndsmR_->setRetryPolicy({cfg_.recovery.dsmRetryTimeout,
+                                cfg_.recovery.dsmRetryMax});
+    } else {
+        dsm_ = std::make_unique<Dsm>(
+            *soc_,
+            std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
+            cfg_.dsmPages, cfg_.dsmProtocol, cfg_.dsmCosts);
+        if (armed) {
+            dsm_->setRetryPolicy({cfg_.recovery.dsmRetryTimeout,
+                                  cfg_.recovery.dsmRetryMax});
+        }
     }
 
     meta_ = std::make_unique<MetaLevelManager>(
@@ -97,22 +166,37 @@ K2System::K2System(K2Config cfg)
     irqRouter_->install();
 
     if (armed) {
+        std::vector<kern::Kernel *> shadows{shadow_.get()};
+        for (auto &ex : extras_)
+            shadows.push_back(ex.get());
         watchdog_ = std::make_unique<Watchdog>(
-            *soc_, *main_, *shadow_, *dsm_, *irqRouter_, injector_.get(),
-            cfg_.recovery.watchdog);
+            *soc_, *main_, std::move(shadows), dsm_.get(), *irqRouter_,
+            injector_.get(), cfg_.recovery.watchdog);
         // Repeated retransmission without an ack on any channel is the
         // watchdog's crash-suspicion signal. Shadow->main silence also
         // counts: in the simulation a crashed domain's threads keep
         // executing (the crash is fail-silent at the communication
         // boundary), and their failing sends stand in for the keepalive
         // a real main kernel would run -- the probe loop then verifies
-        // and charges the actual detection work.
-        reliable_->setSuspectHook([this](KernelIdx, KernelIdx) {
-            watchdog_->suspect();
+        // and charges the actual detection work. The weak end of the
+        // silent channel names the suspected replica.
+        reliable_->setSuspectHook([this](KernelIdx from, KernelIdx to) {
+            const KernelIdx weak = (to != 0) ? to : from;
+            if (weak != 0)
+                watchdog_->suspect(weak - 1);
         });
     }
 
+    if (replicas >= 2) {
+        group_ = std::make_unique<ReplicaGroup>(
+            *soc_, allKernels, *ndsmR_, *irqRouter_,
+            cfg_.recovery.replica);
+        watchdog_->setReplicaGroup(group_.get());
+    }
+
     crossIsa_ = std::make_unique<CrossIsaDispatcher>(*shadow_);
+    for (auto &ex : extras_)
+        crossIsa_->addShadow(*ex);
 
     ioMapper_ = std::make_unique<IoMapper>(
         *soc_, std::array<kern::Kernel *, 2>{main_.get(), shadow_.get()},
@@ -128,6 +212,12 @@ K2System::K2System(K2Config cfg)
         [this](soc::Mail mail, soc::Core &core) {
             return dispatchMail(1, mail, core);
         });
+    for (std::size_t i = 0; i < extras_.size(); ++i) {
+        extras_[i]->setMailHandler(
+            [this, i](soc::Mail mail, soc::Core &core) {
+                return dispatchMail(2 + i, mail, core);
+            });
+    }
 }
 
 K2System::~K2System() = default;
@@ -139,18 +229,39 @@ K2System::kernelAt(soc::DomainId domain)
         return *main_;
     if (domain == soc::kWeakDomain)
         return *shadow_;
+    for (auto &ex : extras_) {
+        if (ex->domainId() == domain)
+            return *ex;
+    }
     K2_PANIC("no kernel for domain %u", domain);
+}
+
+kern::Kernel &
+K2System::kernelByIdx(KernelIdx k)
+{
+    if (k == 0)
+        return *main_;
+    if (k == 1)
+        return *shadow_;
+    return *extras_.at(k - 2);
 }
 
 std::vector<kern::Kernel *>
 K2System::kernels()
 {
-    return {main_.get(), shadow_.get()};
+    std::vector<kern::Kernel *> all{main_.get(), shadow_.get()};
+    for (auto &ex : extras_)
+        all.push_back(ex.get());
+    return all;
 }
 
 std::unique_ptr<SharedRegion>
 K2System::createSharedRegion(std::string name, std::uint64_t pages)
 {
+    if (ndsmR_) {
+        return std::make_unique<NDsmSharedRegion>(
+            std::move(name), *ndsmR_, ndsmR_->allocRegion(pages));
+    }
     return std::make_unique<DsmSharedRegion>(std::move(name), *dsm_,
                                              dsm_->allocRegion(pages));
 }
@@ -167,6 +278,28 @@ kern::Thread *
 K2System::spawnNightWatch(kern::Process &proc, std::string name,
                           kern::Thread::Body body)
 {
+    if (group_) {
+        // Replicated shadow services: every request is fanned out to
+        // the live replicas for a majority vote, and served on the
+        // current leader. Only quorum loss degrades to the strong
+        // domain.
+        group_->noteRequest();
+        if (!group_->quorumHeld()) {
+            group_->noteDegradedSpawn();
+            watchdog_->noteDegradedSpawn();
+            return spawnNormal(proc, std::move(name), std::move(body));
+        }
+        const std::size_t leader = group_->servingReplica();
+        if (leader == 0)
+            return nightWatch_->spawn(proc, std::move(name),
+                                      std::move(body));
+        // Extension-domain leader: the NightWatch gating pair protocol
+        // stays between main and the first shadow; the replica serves
+        // the request as a plain thread at weak-domain energy cost.
+        return group_->replicaKernel(leader).spawnThread(
+            &proc, std::move(name), kern::ThreadKind::Normal,
+            std::move(body));
+    }
     if (watchdog_ && watchdog_->shadowDown()) {
         // Graceful degradation: with the shadow kernel down, serve the
         // spawn on the main kernel at main-domain energy cost.
@@ -192,11 +325,18 @@ K2System::freePages(kern::Thread &t, kern::PageRange range)
         co_await local.freePages(t, range);
         co_return;
     }
-    // The thin wrapper (§6.2): the pages belong to the other kernel's
+    // The thin wrapper (§6.2): the pages belong to another kernel's
     // allocator; redirect the free asynchronously via a hardware
     // message. The address-range check is a few instructions.
-    kern::Kernel &peer = (&local == main_.get()) ? *shadow_ : *main_;
-    K2_ASSERT(peer.pageAllocator().isAllocated(range.first));
+    kern::Kernel *owner = nullptr;
+    for (kern::Kernel *k : kernels()) {
+        if (k != &local && k->pageAllocator().isAllocated(range.first)) {
+            owner = k;
+            break;
+        }
+    }
+    K2_ASSERT(owner != nullptr);
+    kern::Kernel &peer = *owner;
     co_await t.exec(20);
     remoteFrees_.inc();
     unsigned order = 0;
@@ -238,10 +378,22 @@ K2System::dumpState(std::ostream &os)
        << ", K2 "
        << meta_->blocksOwnedBy(MetaLevelManager::BlockOwner::Meta)
        << " of " << meta_->numBlocks() << "\n";
-    os << "dsm: " << dsm_->faultStats(0).faults.value()
-       << " main faults, " << dsm_->faultStats(1).faults.value()
-       << " shadow faults, " << dsm_->messagesSent() << " messages, "
-       << dsm_->pagesDemoted() << " pages demoted\n";
+    if (dsm_) {
+        os << "dsm: " << dsm_->faultStats(0).faults.value()
+           << " main faults, " << dsm_->faultStats(1).faults.value()
+           << " shadow faults, " << dsm_->messagesSent() << " messages, "
+           << dsm_->pagesDemoted() << " pages demoted\n";
+    } else {
+        os << "ndsm: ";
+        for (std::size_t k = 0; k < ndsmR_->numKernels(); ++k)
+            os << ndsmR_->faults(k) << (k + 1 < ndsmR_->numKernels()
+                                            ? " / " : " faults, ");
+        os << ndsmR_->messagesSent() << " messages\n";
+        os << "replicas: " << group_->liveReplicas() << "/"
+           << group_->numReplicas() << " live, leader "
+           << group_->leaderReplica() << ", term " << group_->term()
+           << ", " << group_->elections() << " elections\n";
+    }
     os << "nightwatch: " << nightWatch_->suspendsSent.value()
        << " suspends, " << nightWatch_->resumesSent.value()
        << " resumes\n";
@@ -266,7 +418,10 @@ K2System::registerMetrics(obs::MetricsRegistry &reg)
 {
     SystemImage::registerMetrics(reg);
 
-    dsm_->registerMetrics(reg, "os.dsm");
+    if (dsm_)
+        dsm_->registerMetrics(reg, "os.dsm");
+    if (ndsmR_)
+        ndsmR_->registerMetrics(reg, "os.ndsm");
 
     reg.addCounter("os.nightwatch.suspends", nightWatch_->suspendsSent);
     reg.addCounter("os.nightwatch.resumes", nightWatch_->resumesSent);
@@ -304,6 +459,8 @@ K2System::registerMetrics(obs::MetricsRegistry &reg)
         reliable_->registerMetrics(reg, "os.recovery.mail");
     if (watchdog_)
         watchdog_->registerMetrics(reg, "os.recovery");
+    if (group_)
+        group_->registerMetrics(reg, "os.replica");
 }
 
 void
@@ -317,8 +474,16 @@ K2System::snapState(snap::Io &io)
     soc_->snapState(io);
     main_->snapState(io);
     shadow_->snapState(io);
+    io.check(extras_.size(), "K2System::extras");
+    for (auto &ex : extras_)
+        ex->snapState(io);
     SystemImage::snapState(io);
-    dsm_->snapState(io);
+    io.check(dsm_ ? 1 : 0, "K2System::dsm");
+    if (dsm_)
+        dsm_->snapState(io);
+    io.check(ndsmR_ ? 1 : 0, "K2System::ndsm");
+    if (ndsmR_)
+        ndsmR_->snapState(io);
     meta_->snapState(io);
     nightWatch_->snapState(io);
     irqRouter_->snapState(io);
@@ -337,6 +502,9 @@ K2System::snapState(snap::Io &io)
     io.check(watchdog_ ? 1 : 0, "K2System::watchdog");
     if (watchdog_)
         watchdog_->snapState(io);
+    io.check(group_ ? 1 : 0, "K2System::replica");
+    if (group_)
+        group_->snapState(io);
 }
 
 sim::Task<void>
@@ -348,7 +516,10 @@ K2System::dispatchMail(KernelIdx to, soc::Mail mail, soc::Core &core)
     switch (msg.type) {
       case MsgType::GetExclusive:
       case MsgType::PutExclusive:
-        co_await dsm_->handleMail(to, msg, core);
+        if (ndsmR_)
+            co_await ndsmR_->handleMail(to, mail, core);
+        else
+            co_await dsm_->handleMail(to, msg, core);
         co_return;
       case MsgType::SuspendNw:
       case MsgType::AckSuspendNw:
@@ -371,13 +542,21 @@ K2System::dispatchMail(KernelIdx to, soc::Mail mail, soc::Core &core)
             K2_ASSERT(watchdog_);
             co_await watchdog_->handleMail(to, msg, core);
             co_return;
+          case CtlOp::ReplicaReq:
+          case CtlOp::ReplicaRep:
+          case CtlOp::Election:
+          case CtlOp::ElectionOk:
+          case CtlOp::Coordinator:
+            K2_ASSERT(group_);
+            co_await group_->handleMail(to, mail, core);
+            co_return;
         }
         K2_PANIC("unknown control op in mail 0x%x", mail.word);
       case MsgType::BalloonDone:
         co_await meta_->handleMail(to, msg, core);
         co_return;
       case MsgType::FreeRemote: {
-        kern::Kernel &kern = (to == 0) ? *main_ : *shadow_;
+        kern::Kernel &kern = kernelByIdx(to);
         const std::uint64_t work =
             kern.pageAllocator().free(msg.payload);
         const double factor = core.spec().kernelCostFactor;

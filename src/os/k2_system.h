@@ -32,8 +32,10 @@
 #include "os/io_mapper.h"
 #include "os/irq_router.h"
 #include "os/meta_manager.h"
+#include "os/ndsm.h"
 #include "os/nightwatch.h"
 #include "os/reliable_mail.h"
+#include "os/replica.h"
 #include "os/system.h"
 #include "os/watchdog.h"
 
@@ -58,6 +60,16 @@ struct K2Config
     /** Local-region sizes in pages (rounded to 16 MB blocks). */
     std::uint64_t shadowLocalPages = 4096;  //!< 16 MB.
     std::uint64_t mainLocalPages = 12288;   //!< 48 MB.
+    /**
+     * Shadow-service replication degree. 1 (the default) is the
+     * paper's two-kernel K2, byte-identical to a build without the
+     * replica layer. N >= 2 boots the shadow kernel on N weak domains
+     * (the weak domain spec is cloned for the extras), arms the
+     * recovery plane, backs shared regions with the N-kernel DSM, and
+     * routes shadowed requests through the ReplicaGroup: leader
+     * serving, fan-out majority voting, bully re-election on crash.
+     */
+    std::size_t replicas = 1;
     MetaLevelManager::Config meta{};
     /**
      * Fault-injection schedule. An empty plan leaves the fault plane
@@ -78,6 +90,7 @@ struct K2Config
         sim::Duration dsmRetryTimeout = sim::usec(500);
         sim::Duration dsmRetryMax = sim::msec(4);
         Watchdog::Config watchdog{};
+        ReplicaGroup::Config replica{};
     };
     RecoveryConfig recovery{};
 };
@@ -116,6 +129,9 @@ class K2System : public SystemImage
     sim::Engine &ownedEngine() { return engine_; }
     kern::Kernel &shadowKernel() { return *shadow_; }
     Dsm &dsm() { return *dsm_; }
+    /** The N-kernel DSM backing shared regions when replicas >= 2
+     *  (null otherwise; dsm() is unavailable in that mode). */
+    NDsm *replicaDsm() { return ndsmR_.get(); }
     MetaLevelManager &meta() { return *meta_; }
     NightWatch &nightWatch() { return *nightWatch_; }
     IrqRouter &irqRouter() { return *irqRouter_; }
@@ -130,6 +146,9 @@ class K2System : public SystemImage
     fault::FaultInjector *faultInjector() { return injector_.get(); }
     ReliableMail *reliableMail() { return reliable_.get(); }
     Watchdog *watchdog() { return watchdog_.get(); }
+    ReplicaGroup *replicaGroup() { return group_.get(); }
+    /** Configured replication degree (1 = unreplicated). */
+    std::size_t replicas() const { return 1 + extras_.size(); }
     /** @} */
 
     /** Frees redirected to the peer kernel so far. */
@@ -145,6 +164,7 @@ class K2System : public SystemImage
   private:
     sim::Task<void> dispatchMail(KernelIdx to, soc::Mail mail,
                                  soc::Core &core);
+    kern::Kernel &kernelByIdx(KernelIdx k);
 
     K2Config cfg_;
     sim::Engine engine_;
@@ -153,7 +173,10 @@ class K2System : public SystemImage
     std::unique_ptr<kern::AddressSpaceLayout> layout_;
     std::unique_ptr<kern::Kernel> main_;
     std::unique_ptr<kern::Kernel> shadow_;
+    /** Shadow replicas 2..N on cloned weak domains (replicas >= 2). */
+    std::vector<std::unique_ptr<kern::Kernel>> extras_;
     std::unique_ptr<Dsm> dsm_;
+    std::unique_ptr<NDsm> ndsmR_;
     std::unique_ptr<MetaLevelManager> meta_;
     std::unique_ptr<NightWatch> nightWatch_;
     std::unique_ptr<IrqRouter> irqRouter_;
@@ -161,6 +184,7 @@ class K2System : public SystemImage
     std::unique_ptr<IoMapper> ioMapper_;
     std::unique_ptr<ReliableMail> reliable_;
     std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<ReplicaGroup> group_;
     kern::ServiceRegistry services_;
     sim::Counter remoteFrees_;
 };

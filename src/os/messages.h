@@ -46,6 +46,16 @@ enum class CtlOp : std::uint32_t
     MailAck = 3,      //!< Reliable-mail ack (operand = acked seq).
     Heartbeat = 4,    //!< Watchdog liveness probe (operand = nonce).
     HeartbeatAck = 5, //!< Watchdog probe reply (operand = nonce).
+    ReplicaReq = 6,   //!< Replica group: shadowed-request fan-out
+                      //!< (operand = vote nonce). ARQ-tracked.
+    ReplicaRep = 7,   //!< Replica group: reply digest (operand =
+                      //!< digest, mail seq = vote nonce). Untracked:
+                      //!< a lost reply is an absent vote.
+    Election = 8,     //!< Bully election challenge to a lower-index
+                      //!< survivor (operand = term).
+    ElectionOk = 9,   //!< Election challenge accepted (operand = term).
+    Coordinator = 10, //!< New-leader announcement (operand = leader
+                      //!< index << 12 | term).
 };
 
 /** Pack a Control payload from subtype and 16-bit operand. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/log.h"
 #include "snap/io.h"
 
@@ -113,8 +114,44 @@ NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
                           seq_++ & kSeqMask));
 
         pi.grant->reset();
+        pi.grantArrived = false;
         core.pinActive();
-        co_await pi.grant->wait();
+        if (retry_.timeout == 0) {
+            co_await pi.grant->wait();
+        } else {
+            // Same shape as Dsm's fault-timeout retry, with one
+            // N-domain twist: the resend re-reads pi.owner, so a fault
+            // stranded on a crashed owner redirects to wherever
+            // reclaimFrom moved the page.
+            sim::Duration rto = retry_.timeout;
+            while (!pi.grantArrived) {
+                bool timer_fired = false;
+                sim::Event *grant = pi.grant.get();
+                sim::EventId timer = soc_.engine().after(
+                    rto, [grant, &timer_fired]() {
+                        timer_fired = true;
+                        grant->pulse();
+                    });
+                co_await pi.grant->wait();
+                soc_.engine().cancel(timer);
+                if (pi.grantArrived)
+                    break;
+                if (!timer_fired)
+                    continue; // Woken by an unrelated pulse; re-wait.
+                retries_.inc();
+                messages_.inc();
+                K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                         "%s retries Get for N-DSM page %llu",
+                         kernels_[k]->name().c_str(),
+                         static_cast<unsigned long long>(page));
+                kernels_[k]->sendMail(
+                    kernels_[pi.owner]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  page & kPayloadMask,
+                                  seq_++ & kSeqMask));
+                rto = std::min(rto * 2, retry_.maxTimeout);
+            }
+        }
         core.unpinActive();
 
         co_await core.execTime(costs_[k].exitRefill +
@@ -126,6 +163,53 @@ NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
         stats_[k].totalUs.sample(
             sim::toUsec(soc_.engine().now() - t0));
         co_return;
+    }
+}
+
+std::vector<std::uint64_t>
+NDsm::reclaimFrom(std::size_t dead, std::size_t to)
+{
+    K2_ASSERT(dead < kernels_.size() && to < kernels_.size());
+    K2_ASSERT(dead != to);
+    // Ascending page order for deterministic reclaim traffic.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+
+    std::vector<std::uint64_t> moved;
+    for (std::uint64_t key : keys) {
+        PageInfo &pi = *pages_.at(key);
+        if (pi.owner != dead)
+            continue;
+        pi.owner = to;
+        moved.push_back(key);
+        // A fault by the inheritor itself, stranded waiting on the
+        // dead owner, completes locally (as in Dsm::reclaimAll).
+        // Faults by *other* kernels self-heal through the retry path:
+        // the resend re-reads the directory and reaches @p to.
+        if (pi.outstanding && pi.requester == to && !pi.grantArrived) {
+            pi.grantArrived = true;
+            pi.grant->pulse();
+        }
+    }
+    return moved;
+}
+
+void
+NDsm::registerMetrics(obs::MetricsRegistry &reg,
+                      const std::string &prefix)
+{
+    reg.addCounter(prefix + ".messages", messages_);
+    // Only present when the recovery layer enabled retries, so
+    // zero-fault metric snapshots keep their exact key set.
+    if (retry_.timeout != 0)
+        reg.addCounter(prefix + ".retries", retries_);
+    for (std::size_t k = 0; k < kernels_.size(); ++k) {
+        const std::string kp = prefix + "." + kernels_[k]->name();
+        reg.addCounter(kp + ".faults", stats_[k].faults);
+        reg.addAccumulator(kp + ".total_us", stats_[k].totalUs);
     }
 }
 
@@ -180,10 +264,13 @@ NDsm::handleMail(std::size_t to_kernel, soc::Mail mail, soc::Core &core)
       case MsgType::GetExclusive:
         soc_.engine().spawn(serviceGet(to_kernel, from_kernel, page));
         co_return;
-      case MsgType::PutExclusive:
+      case MsgType::PutExclusive: {
         co_await core.execTime(soc_.costs().busAccess);
-        info(page).grant->pulse();
+        PageInfo &pi = info(page);
+        pi.grantArrived = true;
+        pi.grant->pulse();
         co_return;
+      }
       default:
         K2_PANIC("NDsm received unexpected message type %u",
                  static_cast<unsigned>(msg.type));
@@ -197,6 +284,7 @@ NDsm::snapState(snap::Io &io)
     io.pod(seq_);
     io.pod(nextRegionPage_);
     io.pod(messages_);
+    io.pod(retries_);
     for (auto &mmu : mmus_)
         mmu->snapState(io);
     for (Stats &st : stats_) {
@@ -238,6 +326,7 @@ NDsm::snapState(snap::Io &io)
         PageInfo &pi = *it->second;
         io.pod(pi.owner);
         io.pod(pi.outstanding);
+        io.pod(pi.grantArrived);
         io.pod(pi.requester);
         pi.grant->snapState(io);
         pi.settled->snapState(io);

@@ -39,6 +39,11 @@
 #include "os/system.h"
 
 namespace k2 {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace os {
 
 class NDsm
@@ -54,12 +59,27 @@ class NDsm
     };
 
     /**
+     * Fault-grant retry policy (mirrors Dsm::RetryPolicy). With a
+     * nonzero timeout a faulting kernel re-sends its GetExclusive --
+     * to the page's *current* owner, re-read from the directory -- so
+     * a fault stranded on a crashed owner self-heals once the page is
+     * reclaimed to a survivor (reclaimFrom) or the owner revives.
+     */
+    struct RetryPolicy
+    {
+        sim::Duration timeout = 0;  //!< 0 disables retry.
+        sim::Duration maxTimeout = 0;
+    };
+
+    /**
      * @param soc Platform.
      * @param kernels One kernel per coherence domain, strong first.
      * @param num_pages DSM page keys available.
      */
     NDsm(soc::Soc &soc, std::vector<kern::Kernel *> kernels,
          std::uint64_t num_pages);
+
+    void setRetryPolicy(RetryPolicy p) { retry_ = p; }
 
     std::size_t numKernels() const { return kernels_.size(); }
 
@@ -77,6 +97,17 @@ class NDsm
     /** Current owner of @p page. */
     std::size_t ownerOf(std::uint64_t page) const;
 
+    /**
+     * Reassign every page owned by the (crashed) kernel @p dead to
+     * @p to, in ascending page order, and return the moved page keys.
+     * Faults left outstanding against the dead owner are *not*
+     * completed here: the requester's retry re-reads the directory and
+     * lands on the new owner (arm a RetryPolicy before injecting
+     * crashes).
+     */
+    std::vector<std::uint64_t> reclaimFrom(std::size_t dead,
+                                           std::size_t to);
+
     /** @name Statistics. @{ */
     std::uint64_t faults(std::size_t kernel) const
     {
@@ -90,7 +121,12 @@ class NDsm
     }
 
     std::uint64_t messagesSent() const { return messages_.value(); }
+    std::uint64_t retries() const { return retries_.value(); }
     /** @} */
+
+    /** Register stats under @p prefix (e.g. "os.ndsm"). */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix);
 
     /** Capture/restore: per-page ownership (post-capture pages are
      *  dropped), MMU state, statistics, and the sequence counter. */
@@ -101,6 +137,7 @@ class NDsm
     {
         std::size_t owner = 0;
         bool outstanding = false;    //!< A fault is in flight.
+        bool grantArrived = false;   //!< Grant received for the fault.
         std::size_t requester = 0;   //!< Which kernel is faulting.
         std::unique_ptr<sim::Event> grant;
         std::unique_ptr<sim::Event> settled;
@@ -127,6 +164,8 @@ class NDsm
     std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
     std::vector<Stats> stats_;
     sim::Counter messages_;
+    sim::Counter retries_;
+    RetryPolicy retry_{};
     std::uint32_t seq_ = 0;
 };
 

@@ -133,7 +133,15 @@ NightWatch::handleMail(KernelIdx to, Message msg, soc::Core &core)
         if (it != procs_.end() && it->second.proc) {
             co_await core.exec(200); // flagging cost
             for (kern::Thread *t : it->second.proc->threads()) {
-                if (t->isNightWatch())
+                if (!t->isNightWatch())
+                    continue;
+                // A holder of a cross-domain lock finishes its
+                // critical section before the suspension lands --
+                // parking it would park every waiter of the lock for
+                // the whole gated window.
+                if (t->inCritical())
+                    t->deferSuspend();
+                else
                     shadow_.scheduler().setSuspended(*t, true);
             }
         }
@@ -145,8 +153,10 @@ NightWatch::handleMail(KernelIdx to, Message msg, soc::Core &core)
         if (it != procs_.end() && it->second.proc) {
             co_await core.exec(200);
             for (kern::Thread *t : it->second.proc->threads()) {
-                if (t->isNightWatch())
+                if (t->isNightWatch()) {
+                    t->clearDeferredSuspend();
                     shadow_.scheduler().setSuspended(*t, false);
+                }
             }
         }
         co_return;

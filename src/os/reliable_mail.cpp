@@ -53,9 +53,22 @@ ReliableMail::tracked(std::uint32_t word)
         case CtlOp::MapCreate:
         case CtlOp::MapDestroy:
             return true;
+        case CtlOp::ReplicaReq:
+            // The fan-out must reach every live replica; silence on a
+            // replica channel is the watchdog's suspicion signal.
+            return true;
         case CtlOp::MailAck:
         case CtlOp::Heartbeat:
         case CtlOp::HeartbeatAck:
+            return false;
+        case CtlOp::ReplicaRep:
+            // Carries the vote nonce in the seq field (which the ARQ
+            // stamp would destroy); a lost reply is an absent vote.
+        case CtlOp::Election:
+        case CtlOp::ElectionOk:
+        case CtlOp::Coordinator:
+            // Election traffic runs while peers are dead by design;
+            // the protocol's own rounds provide the redundancy.
             return false;
         }
         return false;

@@ -60,7 +60,14 @@ class ReliableMail
          *  which includes the receiving core's wake latency (150 us
          *  for the strong domain). */
         sim::Duration rto = sim::usec(300);
-        sim::Duration maxRto = sim::msec(2);  //!< Backoff cap.
+        /**
+         * Exponential-backoff cap, 8x the base RTO. The deterministic
+         * doubling schedule (300, 600, 1200, 2400, 2400, ... us)
+         * de-synchronises retransmit storms during injected loss
+         * bursts while keeping the per-mail retransmit lifetime long
+         * enough to ride out a crash-and-restart cycle.
+         */
+        sim::Duration maxRto = sim::usec(2400);
         /**
          * Attempt count at which the suspect hook first fires (the
          * watchdog's suspicion trigger). Retransmission continues past
@@ -70,7 +77,7 @@ class ReliableMail
         std::uint32_t suspectAttempts = 4;
         /**
          * Hard cap on transmits per mail. With the default rto/maxRto
-         * the cumulative retransmit lifetime (~40 ms) comfortably
+         * the cumulative retransmit lifetime (~55 ms) comfortably
          * outlives a crash + probe + restart cycle, so tracked mail
          * survives a shadow-kernel reboot.
          */

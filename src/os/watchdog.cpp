@@ -1,7 +1,9 @@
 #include "os/watchdog.h"
 
+
 #include "fault/injector.h"
 #include "obs/metrics.h"
+#include "os/replica.h"
 #include "sim/log.h"
 #include "snap/io.h"
 
@@ -9,37 +11,46 @@ namespace k2 {
 namespace os {
 
 Watchdog::Watchdog(soc::Soc &soc, kern::Kernel &main,
-                   kern::Kernel &shadow, Dsm &dsm, IrqRouter &router,
-                   fault::FaultInjector *inj, Config cfg)
-    : soc_(soc), main_(main), shadow_(shadow), dsm_(dsm),
+                   std::vector<kern::Kernel *> shadows, Dsm *dsm,
+                   IrqRouter &router, fault::FaultInjector *inj,
+                   Config cfg)
+    : soc_(soc), main_(main), shadows_(std::move(shadows)), dsm_(dsm),
       router_(router), injector_(inj), cfg_(cfg)
 {
     K2_ASSERT(cfg_.missThreshold >= 1);
+    K2_ASSERT(!shadows_.empty());
+    probing_.assign(shadows_.size(), 0);
+    down_.assign(shadows_.size(), 0);
+    ackSeen_.assign(shadows_.size(), 0);
     // Only exists when the fault plane is armed, so this track never
     // appears in zero-fault traces.
     track_ = soc_.engine().addTrack("os.recovery");
 }
 
 void
-Watchdog::suspect()
+Watchdog::suspect(std::size_t replica)
 {
-    if (probing_ || down_)
+    if (replica >= shadows_.size())
+        return;
+    if (probing_[replica] || down_[replica])
         return;
     suspicions_.inc();
-    probing_ = true;
+    probing_[replica] = 1;
     K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
-             "watchdog suspects shadow kernel; probing");
+             "watchdog suspects kernel '%s'; probing",
+             shadows_[replica]->name().c_str());
     soc_.engine().spanInstant(track_, "suspect");
-    soc_.engine().spawn(probeLoop());
+    soc_.engine().spawn(probeLoop(replica));
 }
 
 sim::Task<void>
-Watchdog::probeLoop()
+Watchdog::probeLoop(std::size_t r)
 {
     std::uint32_t missed = 0;
     for (;;) {
-        ackSeen_ = false;
+        ackSeen_[r] = 0;
         const std::uint32_t nonce = nonce_++ & 0xFFFF;
+        probeOwner_[nonce] = r;
         heartbeats_.inc();
         // The probe is kernel work on the strong domain: wake a core,
         // charge the mailbox write, post the heartbeat.
@@ -50,55 +61,66 @@ Watchdog::probeLoop()
         co_await core.execTime(soc_.costs().busAccess);
         core.unpinActive();
         main_.sendMailRaw(
-            shadow_.domainId(),
+            shadows_[r]->domainId(),
             encodeMessage(MsgType::Control,
                           encodeCtl(CtlOp::Heartbeat, nonce), 0));
         co_await soc_.engine().sleep(cfg_.period);
-        if (ackSeen_) {
+        probeOwner_.erase(nonce);
+        if (ackSeen_[r]) {
             falseAlarms_.inc();
-            probing_ = false;
+            probing_[r] = 0;
             K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
                      "watchdog probe answered; false alarm");
             co_return;
         }
         if (++missed >= cfg_.missThreshold) {
-            co_await recover();
-            probing_ = false;
+            co_await recover(r);
+            probing_[r] = 0;
             co_return;
         }
     }
 }
 
 sim::Task<void>
-Watchdog::recover()
+Watchdog::recover(std::size_t r)
 {
-    down_ = true;
+    kern::Kernel &shadow = *shadows_[r];
+    down_[r] = 1;
     crashes_.inc();
     const sim::Time t0 = soc_.engine().now();
     if (injector_) {
         const sim::Time crashed_at =
-            injector_->crashTime(shadow_.domainId());
+            injector_->crashTime(shadow.domainId());
         if (crashed_at != 0)
             detectUs_.sample(sim::toUsec(t0 - crashed_at));
     }
     K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
-             "watchdog declares shadow kernel dead; recovering");
+             "watchdog declares kernel '%s' dead; recovering",
+             shadow.name().c_str());
 
-    // 1. Degrade: shared IO interrupts pin to the strong domain and
-    //    new shadowed spawns run on the main kernel until restart.
-    router_.setDegraded(true);
+    if (group_) {
+        // Replicated mode: the group elects a new leader, inherits the
+        // dead replica's DSM pages, and degrades routing only if
+        // quorum was lost.
+        co_await group_->onReplicaDown(r);
+    } else {
+        // 1. Degrade: shared IO interrupts pin to the strong domain
+        //    and new shadowed spawns run on the main kernel until
+        //    restart.
+        router_.setDegraded(true);
 
-    // 2. Re-own every DSM page, completing stranded main-side faults.
-    //    Charged as main-kernel work proportional to the pages whose
-    //    mappings are rewritten.
-    const std::uint64_t reclaimed = dsm_.reclaimAll(0);
-    pagesReclaimed_.inc(reclaimed);
-    soc::Core &core = main_.domain().core(0);
-    if (!core.awake())
-        co_await core.ensureAwake();
-    core.pinActive();
-    co_await core.execTime(soc_.costs().busAccess * (1 + reclaimed));
-    core.unpinActive();
+        // 2. Re-own every DSM page, completing stranded main-side
+        //    faults. Charged as main-kernel work proportional to the
+        //    pages whose mappings are rewritten.
+        const std::uint64_t reclaimed = dsm_->reclaimAll(0);
+        pagesReclaimed_.inc(reclaimed);
+        soc::Core &core = main_.domain().core(0);
+        if (!core.awake())
+            co_await core.ensureAwake();
+        core.pinActive();
+        co_await core.execTime(soc_.costs().busAccess * (1 + reclaimed));
+        core.unpinActive();
+    }
 
     // 3. Restart the shadow kernel: reboot latency, then revive the
     //    domain, reset its interrupt controller and replay the
@@ -106,25 +128,27 @@ Watchdog::recover()
     //    device setup).
     co_await soc_.engine().sleep(cfg_.restartLatency);
     if (injector_)
-        injector_->revive(shadow_.domainId());
-    shadow_.domain().irqCtrl().reset();
-    const std::size_t replayed = shadow_.replayIrqRegistrations();
+        injector_->revive(shadow.domainId());
+    shadow.domain().irqCtrl().reset();
+    const std::size_t replayed = shadow.replayIrqRegistrations();
     servicesReplayed_.inc(replayed);
     restarts_.inc();
 
     // 4. Resume normal routing. The replayed registrations unmasked
     //    every line on the shadow controller; re-applying the router's
     //    masks restores single-owner routing of the shared lines.
-    router_.setDegraded(false);
+    if (group_)
+        co_await group_->onReplicaRestarted(r);
+    else
+        router_.setDegraded(false);
     router_.reapplyMasks();
 
-    down_ = false;
+    down_[r] = 0;
     downUs_.sample(sim::toUsec(soc_.engine().now() - t0));
     soc_.engine().spanComplete(t0, track_, "shadow_restart");
     K2_TRACE(soc_.engine(), sim::TraceCat::Nw,
-             "shadow kernel restarted (%llu pages re-owned, %zu IRQ "
-             "registrations replayed)",
-             static_cast<unsigned long long>(reclaimed), replayed);
+             "kernel '%s' restarted (%zu IRQ registrations replayed)",
+             shadow.name().c_str(), replayed);
 }
 
 sim::Task<void>
@@ -133,20 +157,29 @@ Watchdog::handleMail(KernelIdx to, Message msg, soc::Core &core)
     K2_ASSERT(msg.type == MsgType::Control);
     const std::uint32_t nonce = ctlOperand(msg.payload);
     switch (ctlOp(msg.payload)) {
-    case CtlOp::Heartbeat:
+    case CtlOp::Heartbeat: {
         // Shadow side: answer from the ISR.
-        K2_ASSERT(to == 1);
+        K2_ASSERT(to >= 1 && to <= shadows_.size());
         co_await core.execTime(soc_.costs().busAccess);
-        shadow_.sendMailRaw(
+        shadows_[to - 1]->sendMailRaw(
             main_.domainId(),
             encodeMessage(MsgType::Control,
                           encodeCtl(CtlOp::HeartbeatAck, nonce), 0));
         co_return;
-    case CtlOp::HeartbeatAck:
+    }
+    case CtlOp::HeartbeatAck: {
         K2_ASSERT(to == 0);
         heartbeatAcks_.inc();
-        ackSeen_ = true;
+        auto it = probeOwner_.find(nonce);
+        if (it != probeOwner_.end()) {
+            ackSeen_[it->second] = 1;
+        } else if (shadows_.size() == 1) {
+            // Single-shadow legacy semantics: any ack (even with a
+            // corrupted nonce) proves the peer alive.
+            ackSeen_[0] = 1;
+        }
         co_return;
+    }
     default:
         K2_PANIC("watchdog: unexpected control op in mail payload 0x%x",
                  msg.payload);
@@ -175,10 +208,15 @@ Watchdog::snapState(snap::Io &io)
 {
     // A probe loop or recovery in flight would hold pending timer
     // events, contradicting engine quiescence.
-    K2_ASSERT(!probing_);
-    K2_ASSERT(!down_);
+    for (std::size_t r = 0; r < shadows_.size(); ++r) {
+        K2_ASSERT(!probing_[r]);
+        K2_ASSERT(!down_[r]);
+    }
+    K2_ASSERT(probeOwner_.empty());
     io.check(track_, "Watchdog::track");
-    io.pod(ackSeen_);
+    io.check(shadows_.size(), "Watchdog::shadows");
+    for (std::size_t r = 0; r < shadows_.size(); ++r)
+        io.pod(ackSeen_[r]);
     io.pod(nonce_);
     io.pod(heartbeats_);
     io.pod(heartbeatAcks_);

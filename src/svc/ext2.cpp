@@ -113,14 +113,30 @@ Ext2Fs::touchMeta(kern::Thread &t, std::uint64_t page, os::Access rw)
 sim::Task<void>
 Ext2Fs::lock(kern::Thread &t)
 {
-    co_await t.kernel().soc().spinlocks().acquire(kSpinlockIdx, t.core());
+    // The fs kernel lock is a mutex augmented with a hardware spinlock
+    // bit (§5.3): the bit arbitrates across domains, but a contended
+    // waiter *sleeps* between probes of it instead of busy-spinning.
+    // A true spin would deadlock a single-core domain whenever the
+    // holder parks inside the critical section (e.g. on a DSM fault
+    // during a peer-domain outage): the spinner owns the only core and
+    // the holder can never run to release. Each probe still charges
+    // one bus access; the probe interval matches the hardware spin
+    // poll, so the contended-acquire latency is unchanged.
+    auto &soc = t.kernel().soc();
+    co_await t.core().execTime(soc.costs().busAccess);
+    while (!soc.spinlocks().tryAcquire(kSpinlockIdx)) {
+        co_await t.sleep(soc.costs().spinPoll);
+        co_await t.core().execTime(soc.costs().busAccess);
+    }
+    t.enterCritical();
 }
 
 void
-Ext2Fs::unlock()
+Ext2Fs::unlock(kern::Thread &t)
 {
     // Release is cheap; the acquire charged the bus accesses.
-    // (Static function object keeps symmetry with lock().)
+    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    t.exitCritical();
 }
 
 sim::Task<FsStatus>
@@ -134,7 +150,7 @@ Ext2Fs::mkfs(kern::Thread &t)
         (numInodes_ + kInodesPerBlock - 1) / kInodesPerBlock);
     sb_.dataStart = sb_.inodeTableStart + sb_.inodeTableBlocks;
     if (sb_.dataStart >= sb_.totalBlocks) {
-        t.kernel().soc().spinlocks().release(kSpinlockIdx);
+        unlock(t);
         co_return FsStatus::NoSpace;
     }
     sb_.freeBlocks = sb_.totalBlocks - sb_.dataStart;
@@ -163,7 +179,7 @@ Ext2Fs::mkfs(kern::Thread &t)
         f = OpenFile{};
     formatted_ = true;
     co_await touchMeta(t, kSbPage, os::Access::Write);
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return FsStatus::Ok;
 }
 
@@ -520,7 +536,7 @@ Ext2Fs::create(kern::Thread &t, const std::string &path)
             }
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -549,7 +565,7 @@ Ext2Fs::open(kern::Thread &t, const std::string &path)
             }
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -598,7 +614,7 @@ Ext2Fs::write(kern::Thread &t, int fd, std::span<const std::uint8_t> data)
     if (result == 0)
         result = written;
     co_await writeInode(t, of.ino, inode);
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -636,7 +652,7 @@ Ext2Fs::read(kern::Thread &t, int fd, std::span<std::uint8_t> out)
         of.offset += n;
         got += static_cast<std::int64_t>(n);
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return got;
 }
 
@@ -694,7 +710,7 @@ Ext2Fs::mkdir(kern::Thread &t, const std::string &path)
             co_await writeSuperblock(t);
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -727,7 +743,7 @@ Ext2Fs::unlink(kern::Thread &t, const std::string &path)
             result = co_await dirRemove(t, loc->parent, loc->leaf);
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -755,7 +771,7 @@ Ext2Fs::stat(kern::Thread &t, const std::string &path)
                 inode.size};
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return result;
 }
 
@@ -796,7 +812,7 @@ Ext2Fs::readdir(kern::Thread &t, const std::string &path)
             }
         }
     }
-    t.kernel().soc().spinlocks().release(kSpinlockIdx);
+    unlock(t);
     co_return names;
 }
 

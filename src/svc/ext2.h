@@ -229,7 +229,7 @@ class Ext2Fs
     sim::Task<void> touchMeta(kern::Thread &t, std::uint64_t page,
                               os::Access rw);
     sim::Task<void> lock(kern::Thread &t);
-    void unlock();
+    void unlock(kern::Thread &t);
 
     /** @name Bitmap and table helpers (IO via the device). @{ */
     sim::Task<std::optional<std::uint32_t>> allocFromBitmap(

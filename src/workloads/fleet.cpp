@@ -424,11 +424,16 @@ runFleet(const FleetConfig &cfg)
     SweepRunner runner(cfg.jobs);
     std::vector<Lane> lanes(runner.lanes());
 
-    const std::string fixtureKey = "fleet:" + cfg.faults;
+    // The replica suffix appears only when the degree differs from
+    // the default so replicas=1 runs keep the pre-replication key.
+    std::string fixtureKey = "fleet:" + cfg.faults;
+    if (cfg.replicas > 1)
+        fixtureKey += ":r" + std::to_string(cfg.replicas);
     const auto makeConfig = [&cfg]() {
         os::K2Config kcfg;
         if (!cfg.faults.empty())
             kcfg.faults = fault::FaultPlan::parse(cfg.faults);
+        kcfg.replicas = std::max<std::size_t>(cfg.replicas, 1);
         return kcfg;
     };
 

@@ -192,6 +192,7 @@ struct FleetConfig
     std::string mix = "default";
     std::uint64_t seed = 42;
     std::string faults;           //!< FaultPlan spec; empty = none.
+    std::size_t replicas = 1;     //!< Shadow replication degree.
     SweepMode sweep = SweepMode::Warm;
     unsigned jobs = 0;            //!< 0 = hardware concurrency.
 

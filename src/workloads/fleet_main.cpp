@@ -4,7 +4,7 @@
  *
  *   fleet [--devices=N] [--hours=H] [--mix=NAME] [--seed=N]
  *         [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
- *         [--diurnal=AMPL] [--report=FILE]
+ *         [--replicas=N] [--diurnal=AMPL] [--report=FILE]
  *
  * Simulates N devices' background traffic over H hours (see
  * DESIGN.md §11-12): per-kind episode costs are measured once per
@@ -47,7 +47,8 @@ usage()
         "[--seed=N]\n"
         "             [--jobs=N] [--sweep=warm|cold] "
         "[--faults=SPEC]\n"
-        "             [--diurnal=AMPL] [--report=FILE]\n"
+        "             [--replicas=N] [--diurnal=AMPL] "
+        "[--report=FILE]\n"
         "mixes: %s\n",
         k2::wl::mixNames().c_str());
 }
@@ -73,6 +74,8 @@ main(int argc, char **argv)
         cfg.seed =
             wl::parseUintFlag(argc, argv, "--seed=", cfg.seed, 0,
                               UINT64_MAX);
+        cfg.replicas = static_cast<std::size_t>(wl::parseUintFlag(
+            argc, argv, "--replicas=", cfg.replicas, 1, 15));
         // Hand-parsed: parseFloatFlag rejects 0, but an explicit
         // --diurnal=0 (off) is valid and must equal omitting it.
         const std::string diurnal =

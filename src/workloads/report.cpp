@@ -192,7 +192,9 @@ episodeReport(const obs::MetricsSnapshot &delta)
         std::size_t rows = 0;
         for (const auto &[name, v] : delta.values()) {
             if (name.rfind("fault.injected.", 0) != 0 &&
-                name.rfind("os.recovery.", 0) != 0)
+                name.rfind("os.recovery.", 0) != 0 &&
+                name.rfind("os.replica.", 0) != 0 &&
+                name.rfind("os.ndsm.", 0) != 0)
                 continue;
             if (v.kind == obs::MetricValue::Kind::Counter && v.count) {
                 t.addRow({name, std::to_string(v.count)});

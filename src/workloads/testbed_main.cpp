@@ -5,11 +5,15 @@
  *
  *   testbed [--system=k2|linux] [--episodes=N] [--runs=N] [--seed=N]
  *           [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
- *           [--metrics=FILE] [--trace=FILE]
+ *           [--replicas=N] [--metrics=FILE] [--trace=FILE]
  *
  * --faults arms the K2 fault-injection plane with a declarative
  * schedule (e.g. --faults="mailbox.drop:p=1e-3,dma.err:at=2s"); the
  * recovery protocols and their os.recovery.* metrics come with it.
+ *
+ * --replicas=N (default 1) runs each shadowed service on N weak
+ * domains with majority voting and leader election (os.replica.*
+ * metrics). N=1 is byte-identical to builds before the replica layer.
  *
  * --metrics writes the final registry snapshot as JSON; --trace writes
  * a Chrome trace_event (catapult) file loadable in chrome://tracing or
@@ -49,6 +53,7 @@ struct Options
     bool k2 = true;
     int episodes = 6;
     int runs = 1;
+    int replicas = 1;
     std::uint64_t seed = 42;
     std::string faults;
     std::string metricsFile;
@@ -91,6 +96,13 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.seed = std::strtoull(v, nullptr, 10);
         } else if (const char *v = value("--faults=")) {
             opt.faults = v;
+        } else if (const char *v = value("--replicas=")) {
+            opt.replicas = std::atoi(v);
+            if (opt.replicas < 1 || opt.replicas > 15) {
+                std::fprintf(stderr, "bad replica count '%s' (1..15)\n",
+                             v);
+                return false;
+            }
         } else if (const char *v = value("--metrics=")) {
             opt.metricsFile = v;
         } else if (const char *v = value("--trace=")) {
@@ -100,7 +112,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 stderr,
                 "usage: testbed [--system=k2|linux] [--episodes=N] "
                 "[--runs=N] [--seed=N] [--jobs=N] [--sweep=warm|cold] "
-                "[--faults=SPEC] [--metrics=FILE] [--trace=FILE]\n");
+                "[--faults=SPEC] [--replicas=N] [--metrics=FILE] "
+                "[--trace=FILE]\n");
             return false;
         }
     }
@@ -108,6 +121,12 @@ parseArgs(int argc, char **argv, Options &opt)
         std::fprintf(stderr,
                      "--faults requires --system=k2 (the baseline has "
                      "no fault plane)\n");
+        return false;
+    }
+    if (opt.replicas > 1 && !opt.k2) {
+        std::fprintf(stderr,
+                     "--replicas requires --system=k2 (the baseline "
+                     "has no shadow services)\n");
         return false;
     }
     return true;
@@ -153,11 +172,18 @@ runChain(const Options &opt, k2::wl::SweepMode sweep, int run,
     // worker boots a single testbed and forks every run from its
     // snapshot. The tracer enable flags below are snapshotted state,
     // so run 0's span recording does not leak into sibling runs.
+    // The warm-fixture key embeds the replica degree only when it
+    // differs from the default, so replicas=1 invocations keep the
+    // exact pre-replication key (and hence fixture reuse behaviour).
+    std::string key = "k2:" + opt.faults;
+    if (opt.replicas > 1)
+        key += ":r" + std::to_string(opt.replicas);
     wl::Testbed &tb = opt.k2
-        ? wl::warmK2(sweep, "k2:" + opt.faults, [&opt] {
+        ? wl::warmK2(sweep, key, [&opt] {
               os::K2Config cfg;
               if (!opt.faults.empty())
                   cfg.faults = fault::FaultPlan::parse(opt.faults);
+              cfg.replicas = static_cast<std::size_t>(opt.replicas);
               return cfg;
           })
         : wl::warmLinux(sweep, "linux");

@@ -71,6 +71,50 @@ TEST(FaultPlan, RejectsMalformedSpecs)
                  sim::FatalError);
 }
 
+/** A rejected spec names the malformed field's character offset. */
+TEST(FaultPlan, RejectionsCarryCharPositions)
+{
+    const auto rejectAt = [](const std::string &spec,
+                             const char *fragment) {
+        try {
+            (void)fault::FaultPlan::parse(spec);
+            ADD_FAILURE() << "spec '" << spec << "' parsed";
+        } catch (const sim::FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(fragment),
+                      std::string::npos)
+                << "spec '" << spec << "' error: " << e.what();
+        }
+    };
+    // "typo=1" starts at char 13 of "mailbox.drop:typo=1".
+    rejectAt("mailbox.drop:typo=1", "at char 13");
+    // Bare word at the head of the spec.
+    rejectAt("bogus", "at char 0");
+    // Parameter before any fault kind.
+    rejectAt("p=0.5,mailbox.drop", "at char 0");
+    // Malformed value: offset points at the value, not the key
+    // ("zzz" starts at char 15).
+    rejectAt("mailbox.drop:p=zzz", "at char 15");
+    rejectAt("mailbox.drop:p=7", "at char 15");
+    rejectAt("mailbox.drop:burst=nope", "at char 19");
+    rejectAt("domain.crash:at=10lightyears", "at char 16");
+    // Second spec's bad field: the offset disambiguates it from an
+    // identical first token.
+    rejectAt("mailbox.drop:p=1e-3,irq.lost:line=x", "at char 34");
+}
+
+/** The accept path is unchanged by the hardening. */
+TEST(FaultPlan, AcceptsSpecsWithAllKeys)
+{
+    const auto plan = fault::FaultPlan::parse(
+        "domain.crash:at=5ms:dom=1:len=2ms,"
+        "mailbox.flip:p=0.25:burst=2,seed=9");
+    ASSERT_EQ(plan.specs().size(), 2u);
+    EXPECT_EQ(plan.specs()[0].at, sim::msec(5));
+    EXPECT_EQ(plan.specs()[0].len, sim::msec(2));
+    EXPECT_EQ(plan.specs()[1].burst, 2u);
+    EXPECT_EQ(plan.seed, 9u);
+}
+
 TEST(FaultPlan, ParsesDurations)
 {
     EXPECT_EQ(fault::parseDuration("2s"), sim::sec(2));
