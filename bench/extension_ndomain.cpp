@@ -11,7 +11,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "os/coherence/protocol.h"
 #include "os/ndsm.h"
 #include "workloads/report.h"
 #include "workloads/sweep.h"
@@ -32,7 +34,7 @@ struct Fixture
     std::unique_ptr<os::NDsm> ndsm;
     std::unique_ptr<kern::Process> proc;
 
-    explicit Fixture(std::size_t domains)
+    Fixture(std::size_t domains, os::coherence::ProtocolKind dsm)
     {
         auto cfg = (domains == 3) ? soc::threeDomainConfig()
                                   : soc::omap4Config();
@@ -45,7 +47,7 @@ struct Fixture
             kernels.back()->boot();
             raw.push_back(kernels.back().get());
         }
-        ndsm = std::make_unique<os::NDsm>(*soc, raw, 4096);
+        ndsm = std::make_unique<os::NDsm>(*soc, raw, 4096, dsm);
         for (std::size_t i = 0; i < kernels.size(); ++i) {
             kernels[i]->setMailHandler(
                 [this, i](soc::Mail m, soc::Core &c) {
@@ -88,8 +90,13 @@ main(int argc, char **argv)
 {
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
     const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
+    auto dsm = os::coherence::ProtocolKind::TwoState;
+    const bool dsmSet = wl::parseDsmFlag(argc, argv, dsm);
 
     wl::banner("Extension (§11): DSM across N coherence domains");
+    if (dsmSet)
+        std::printf("DSM protocol: %s\n\n",
+                    os::coherence::protocolName(dsm));
 
     struct Row
     {
@@ -102,12 +109,19 @@ main(int argc, char **argv)
     // kernels + N-domain DSM.
     wl::SweepRunner runner(jobs);
     std::vector<Row> rows(std::size(domain_counts));
+    // Default protocol keeps the pre-zoo warm keys so plain
+    // invocations stay byte-identical.
+    std::string keytail;
+    if (dsm != os::coherence::ProtocolKind::TwoState)
+        keytail = std::string(":") + os::coherence::protocolName(dsm);
     for (std::size_t i = 0; i < std::size(domain_counts); ++i) {
         const std::size_t n = domain_counts[i];
-        runner.submit([&rows, i, n, sweep]() {
+        runner.submit([&rows, &keytail, dsm, i, n, sweep]() {
             auto &fx = wl::warmFixture<Fixture>(
-                sweep, "ndsm-" + std::to_string(n),
-                [n] { return std::make_unique<Fixture>(n); });
+                sweep, "ndsm-" + std::to_string(n) + keytail,
+                [n, dsm] {
+                    return std::make_unique<Fixture>(n, dsm);
+                });
             // Ring: each kernel in turn takes the page.
             constexpr int kRounds = 30;
             for (int r = 0; r < kRounds; ++r)

@@ -10,8 +10,10 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "os/coherence/protocol.h"
 #include "workloads/benchmarks.h"
 #include "workloads/report.h"
 #include "workloads/sweep.h"
@@ -25,21 +27,36 @@ main(int argc, char **argv)
 
     const unsigned jobs = wl::parseJobsFlag(argc, argv);
     const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
+    auto dsm = os::coherence::ProtocolKind::TwoState;
+    const bool dsmSet = wl::parseDsmFlag(argc, argv, dsm);
 
     wl::banner("Figure 6(b): ext2 energy efficiency (MB/J), "
                "8 files per run");
+    if (dsmSet)
+        std::printf("DSM protocol: %s\n\n",
+                    os::coherence::protocolName(dsm));
 
     const std::uint64_t sizes[] = {1024, 256 * 1024, 1024 * 1024};
     const char *labels[] = {"1KB (emails)", "256KB (pictures)",
                             "1MB (short videos)"};
+
+    // Default protocol keeps the pre-zoo warm key (and null config)
+    // so plain invocations stay byte-identical.
+    std::string k2key = "k2";
+    if (dsm != os::coherence::ProtocolKind::TwoState)
+        k2key += std::string(":") + os::coherence::protocolName(dsm);
 
     wl::SweepRunner runner(jobs);
     std::vector<wl::EpisodeResult> k2res(std::size(sizes));
     std::vector<wl::EpisodeResult> lxres(std::size(sizes));
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
         const std::uint64_t size = sizes[i];
-        runner.submit([&k2res, i, size, sweep]() {
-            auto &tb = wl::warmK2(sweep, "k2");
+        runner.submit([&k2res, &k2key, dsm, i, size, sweep]() {
+            auto &tb = wl::warmK2(sweep, k2key, [dsm] {
+                os::K2Config cfg;
+                cfg.dsmProtocol = dsm;
+                return cfg;
+            });
             k2res[i] = wl::runEpisodeWarm(tb.sys(), tb.proc(), "ext2",
                                           wl::ext2Sync(tb.fs(), size));
         });

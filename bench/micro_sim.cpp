@@ -396,6 +396,62 @@ BM_ReplicaVoteRoundtrip(benchmark::State &state)
 }
 BENCHMARK(BM_ReplicaVoteRoundtrip);
 
+/**
+ * Host-side cost of one DSM write fault round-trip (write ping-pong
+ * between the kernels, so every iteration takes the full fault path:
+ * fault entry, protocol messages, remote service, grant, exit). One
+ * instance per coherence protocol bounds how the zoo members differ
+ * in *simulation* throughput -- the modelled latencies are
+ * table5_dsm_fault's job.
+ */
+void
+dsmFaultLoop(benchmark::State &state, os::coherence::ProtocolKind proto)
+{
+    os::K2Config cfg;
+    cfg.soc.costs.inactiveTimeout = 0;
+    cfg.dsmProtocol = proto;
+    os::K2System sys(cfg);
+    auto &proc = sys.createProcess("bench");
+
+    std::uint64_t completed = 0;
+    int round = 0;
+    for (auto _ : state) {
+        kern::Kernel &kern = (round++ % 2 == 0) ? sys.shadowKernel()
+                                                : sys.mainKernel();
+        kern.spawnThread(&proc, "f", kern::ThreadKind::Normal,
+                         [&](kern::Thread &t) -> sim::Task<void> {
+                             co_await sys.dsm().access(
+                                 t.kernel(), t.core(), 1,
+                                 os::Access::Write);
+                             ++completed;
+                         });
+        sys.ownedEngine().run();
+    }
+    if (completed != static_cast<std::uint64_t>(state.iterations())) {
+        std::fprintf(stderr, "FATAL: %s: %llu of %llu faults completed\n",
+                     os::coherence::protocolName(proto),
+                     static_cast<unsigned long long>(completed),
+                     static_cast<unsigned long long>(state.iterations()));
+        std::abort();
+    }
+    benchmark::DoNotOptimize(completed);
+}
+
+#define K2_DSM_FAULT_BENCH(name, kind)                                  \
+    void BM_DsmFault_##name(benchmark::State &state)                    \
+    {                                                                   \
+        dsmFaultLoop(state, os::coherence::ProtocolKind::kind);         \
+    }                                                                   \
+    BENCHMARK(BM_DsmFault_##name)
+
+K2_DSM_FAULT_BENCH(2state, TwoState);
+K2_DSM_FAULT_BENCH(3state, ThreeState);
+K2_DSM_FAULT_BENCH(mesi, Mesi);
+K2_DSM_FAULT_BENCH(moesi, Moesi);
+K2_DSM_FAULT_BENCH(rac, Rac);
+
+#undef K2_DSM_FAULT_BENCH
+
 void
 BM_TlbLookup(benchmark::State &state)
 {

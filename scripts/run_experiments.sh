@@ -72,6 +72,13 @@ for b in "$BUILD_DIR"/bench/*; do
     echo "-- $(basename "$b"): ${ELAPSED}s" >&2
 done
 
+# Table 5 again, broken out per coherence protocol (DESIGN.md §14).
+{
+    echo
+    echo "############ table5_dsm_fault --dsm=all ############"
+    "$BUILD_DIR"/bench/table5_dsm_fault --dsm=all
+} | tee -a "$OUT"
+
 echo
 echo "== per-binary wall clock ==" >&2
 printf '%s' "$TIMES" >&2

@@ -1,0 +1,435 @@
+#include "os/coherence/mesi.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/log.h"
+#include "snap/io.h"
+
+namespace k2 {
+namespace os {
+namespace coherence {
+
+MesiPair::MesiPair(ProtocolKind kind, const PairHost &host)
+    : PairProtocol(host), kind_(kind)
+{
+    K2_ASSERT(kind == ProtocolKind::Mesi ||
+              kind == ProtocolKind::Moesi);
+    if (h_.numPages > kOpMaxPages)
+        K2_FATAL("MESI/MOESI DSM limited to %llu pages (opcode "
+                 "payload bits), got %llu",
+                 static_cast<unsigned long long>(kOpMaxPages),
+                 static_cast<unsigned long long>(h_.numPages));
+}
+
+MesiPair::PageInfo &
+MesiPair::info(std::uint64_t page)
+{
+    K2_ASSERT(page < h_.numPages);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        auto pi = std::make_unique<PageInfo>();
+        pi->grant = std::make_unique<sim::Event>(engine());
+        pi->settled = std::make_unique<sim::Event>(engine());
+        it = pages_.emplace(page, std::move(pi)).first;
+    }
+    return *it->second;
+}
+
+bool
+MesiPair::satisfies(MState s, Access rw) const
+{
+    if (rw == Access::Read)
+        return s != MState::I;
+    // E permits a silent upgrade to M (the MESI selling point); O is a
+    // *shared* dirty copy, so writing through it needs an upgrade.
+    return s == MState::M || s == MState::E;
+}
+
+bool
+MesiPair::isLocallyValid(KernelIdx kernel, std::uint64_t page,
+                         Access rw) const
+{
+    auto it = pages_.find(page);
+    const MState s = (it == pages_.end())
+        ? (kernel == 0 ? MState::E : MState::I)
+        : it->second->state[kernel];
+    return satisfies(s, rw);
+}
+
+sim::Task<void>
+MesiPair::demote(std::uint64_t page, soc::Core &core, KernelIdx k)
+{
+    PageInfo &pi = info(page);
+    if (pi.demoted)
+        co_return;
+    pi.demoted = true;
+    h_.demotions->inc();
+    co_await core.execTime(h_.mmus[k]->protectionUpdate(page));
+}
+
+sim::Task<void>
+MesiPair::access(KernelIdx k, soc::Core &core, std::uint64_t page,
+                 Access rw)
+{
+    PageInfo &pi = info(page);
+
+    const auto grain =
+        pi.demoted ? soc::MapGrain::Page4K : soc::MapGrain::Section1M;
+    const sim::Duration walk = h_.mmus[k]->translate(page, grain);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        while (pi.outstanding[k]) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        if (satisfies(pi.state[k], rw)) {
+            // Silent E->M upgrade: no messages, no cost.
+            if (rw == Access::Write && pi.state[k] == MState::E)
+                pi.state[k] = MState::M;
+            co_return;
+        }
+
+        FaultStats &st = (*h_.stats)[k];
+        st.faults.inc();
+        K2_TRACE(engine(), sim::TraceCat::Dsm,
+                 "%s %s-faults on page %llu (%s)",
+                 h_.kernels[k]->name().c_str(),
+                 protocolName(kind_),
+                 static_cast<unsigned long long>(page),
+                 rw == Access::Write ? "W" : "R");
+        pi.outstanding[k] = true;
+        // An upgrade fault holds a valid (read) copy while requesting
+        // exclusivity; the peer's concurrent GetX invalidates it and
+        // marks the race, exactly like the MSI Shared->Exclusive case.
+        pi.upgrade[k] = pi.state[k] != MState::I;
+        pi.raced[k] = false;
+        pi.pendingRw[k] = rw;
+
+        if (!pi.demoted)
+            co_await demote(page, core, k);
+
+        const sim::Time t0 = engine().now();
+        sim::Duration entry = h_.costs->faultEntry[k];
+        // Read sharing needs read/write distinction from the MMU; the
+        // weak kernel pays the cascaded-MMU tracking penalty (§6.3).
+        if (k == 1)
+            entry += h_.mmus[k]->readTrackPenalty();
+        co_await core.execTime(entry);
+        const sim::Time t1 = engine().now();
+
+        co_await core.execTime(h_.costs->protocolExec[k]);
+        const sim::Time t2 = engine().now();
+
+        const std::uint32_t op = static_cast<std::uint32_t>(
+            rw == Access::Write ? ReqOp::GetX : ReqOp::GetS);
+        h_.messages->inc();
+        h_.kernels[k]->sendMail(
+            h_.kernels[1 - k]->domainId(),
+            encodeMessage(MsgType::GetExclusive, packOp(op, page),
+                          (*h_.seq)++ & kSeqMask));
+
+        pi.grant->reset();
+        pi.grantArrived[k] = false;
+        core.pinActive();
+        if (h_.retry->timeout == 0) {
+            co_await pi.grant->wait();
+        } else {
+            sim::Duration rto = h_.retry->timeout;
+            while (!pi.grantArrived[k]) {
+                bool timer_fired = false;
+                sim::Event *grant = pi.grant.get();
+                sim::EventId timer = engine().after(
+                    rto, [grant, &timer_fired]() {
+                        timer_fired = true;
+                        grant->pulse();
+                    });
+                co_await pi.grant->wait();
+                engine().cancel(timer);
+                if (pi.grantArrived[k])
+                    break;
+                if (!timer_fired)
+                    continue;
+                h_.retries->inc();
+                h_.messages->inc();
+                h_.kernels[k]->sendMail(
+                    h_.kernels[1 - k]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  packOp(op, page),
+                                  (*h_.seq)++ & kSeqMask));
+                rto = std::min(rto * 2, h_.retry->maxTimeout);
+            }
+        }
+        core.unpinActive();
+        const sim::Time t3 = engine().now();
+
+        co_await core.execTime(h_.costs->exitRefill[k] +
+                               h_.mmus[k]->protectionUpdate(page));
+        const sim::Time t4 = engine().now();
+
+        const bool raced = pi.raced[k];
+        if (!raced) {
+            pi.state[k] = (rw == Access::Write) ? MState::M
+                                                : pi.grantState[k];
+        }
+        pi.outstanding[k] = false;
+        pi.upgrade[k] = false;
+        pi.settled->pulse();
+
+        if (engine().tracer().spansOn()) {
+            sim::Tracer &tr = engine().tracer();
+            tr.spanComplete(t0, t4 - t0, h_.tracks[k], "fault");
+            tr.spanComplete(t0, t1 - t0, h_.tracks[k], "fault_entry");
+            tr.spanComplete(t1, t2 - t1, h_.tracks[k], "protocol");
+            tr.spanComplete(t2, t3 - t2, h_.tracks[k], "comm+service");
+            tr.spanComplete(t3, t4 - t3, h_.tracks[k], "exit_refill");
+        }
+
+        st.localFaultUs.sample(sim::toUsec(t1 - t0));
+        st.protocolUs.sample(sim::toUsec(t2 - t1));
+        st.serviceUs.sample(sim::toUsec(pi.lastServiceTime));
+        st.commUs.sample(sim::toUsec(t3 - t2) -
+                         sim::toUsec(pi.lastServiceTime));
+        st.exitUs.sample(sim::toUsec(t4 - t3));
+        st.totalUs.sample(sim::toUsec(t4 - t0));
+
+        if (!raced)
+            co_return;
+        // Invalidated by the peer's concurrent upgrade; retry.
+    }
+}
+
+sim::Task<void>
+MesiPair::serviceGet(KernelIdx owner, std::uint64_t page, Access rw)
+{
+    PageInfo &pi = info(page);
+
+    if (owner == 0) {
+        sim::Duration defer = h_.costs->mainBottomHalf;
+        if (h_.kernels[0]->scheduler().runqueueDepth() > 0)
+            defer += h_.costs->mainLoadedDefer;
+        co_await engine().sleep(defer);
+    }
+
+    // Serialisation mirrors the two-state protocol: wait for a local
+    // fault to settle, except for upgrade races and post-recovery
+    // crossed faults, which service immediately and let the local
+    // fault retry (see two_state.cpp for the deadlock analysis).
+    bool crossed = false;
+    for (;;) {
+        crossed = owner != 0 && pi.outstanding[owner] &&
+                  !pi.upgrade[owner] &&
+                  pi.state[owner] == MState::I;
+        if (crossed || !pi.outstanding[owner] || pi.upgrade[owner])
+            break;
+        co_await pi.settled->wait();
+    }
+
+    soc::CoherenceDomain &dom = h_.kernels[owner]->domain();
+    soc::Core *core = &dom.core(0);
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        if (dom.core(i).state() == soc::PowerState::Idle) {
+            core = &dom.core(i);
+            break;
+        }
+    }
+    if (!core->awake())
+        co_await core->ensureAwake();
+
+    const sim::Time t_start = engine().now();
+    const MState s = pi.state[owner];
+    const bool dirty = s == MState::M || s == MState::O;
+    sim::Duration cost = h_.costs->serviceBase[owner] +
+                         h_.mmus[owner]->protectionUpdate(page);
+    if (dirty) {
+        if (moesi()) {
+            // Owner forwards dirty data cache-to-cache through the
+            // coherent region; no memory writeback.
+            cost += dom.flushTime(h_.soc->pageBytes()) / 2;
+            forwards_.inc();
+        } else {
+            cost += dom.flushTime(h_.soc->pageBytes());
+            writebacks_.inc();
+        }
+    }
+    co_await core->execTime(cost);
+
+    RepOp grant_op;
+    if (rw == Access::Read) {
+        // Downgrade for a read: MESI writes back (M->S); MOESI keeps
+        // the dirty line Owned (M->O, O->O). A clean E copy degrades
+        // to S; an Invalid copy means the requester will hold the only
+        // copy and is granted clean-exclusive E.
+        switch (s) {
+          case MState::M:
+            pi.state[owner] = moesi() ? MState::O : MState::S;
+            break;
+          case MState::O:
+          case MState::S:
+            break; // already shared
+          case MState::E:
+            pi.state[owner] = MState::S;
+            break;
+          case MState::I:
+            break;
+        }
+        grant_op = (s == MState::I) ? RepOp::GrantE : RepOp::GrantS;
+    } else {
+        if (pi.outstanding[owner] && (pi.upgrade[owner] || crossed))
+            pi.raced[owner] = true;
+        pi.state[owner] = MState::I;
+        grant_op = RepOp::GrantX;
+    }
+    pi.lastServiceTime = engine().now() - t_start;
+    engine().spanComplete(t_start, h_.tracks[owner], "service");
+    K2_TRACE(engine(), sim::TraceCat::Dsm,
+             "%s services page %llu (%s, %s)",
+             h_.kernels[owner]->name().c_str(),
+             static_cast<unsigned long long>(page),
+             rw == Access::Write ? "GetX" : "GetS",
+             dirty ? (moesi() ? "forward" : "writeback") : "clean");
+
+    h_.messages->inc();
+    h_.kernels[owner]->sendMail(
+        h_.kernels[1 - owner]->domainId(),
+        encodeMessage(MsgType::PutExclusive,
+                      packOp(static_cast<std::uint32_t>(grant_op),
+                             page),
+                      (*h_.seq)++ & kSeqMask));
+}
+
+std::uint64_t
+MesiPair::reclaimAll(KernelIdx owner)
+{
+    K2_ASSERT(owner < 2);
+    const KernelIdx peer = 1 - owner;
+    std::uint64_t reclaimed = 0;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t page : keys) {
+        auto &pi = pages_.at(page);
+        // The survivor ends sole holder. A Modified copy stays M;
+        // anything else becomes clean-exclusive E (the replica layer
+        // rewrites content on re-sync).
+        const MState ns =
+            pi->state[owner] == MState::M ? MState::M : MState::E;
+        if (pi->state[owner] != ns || pi->state[peer] != MState::I)
+            ++reclaimed;
+        pi->state[owner] = ns;
+        pi->state[peer] = MState::I;
+        if (pi->outstanding[owner] && !pi->grantArrived[owner]) {
+            pi->grantState[owner] =
+                pi->pendingRw[owner] == Access::Write ? MState::M
+                                                      : MState::E;
+            pi->grantArrived[owner] = true;
+            pi->grant->pulse();
+        }
+    }
+    return reclaimed;
+}
+
+void
+MesiPair::snapState(snap::Io &io)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t n = io.count(keys.size());
+    if (io.restoring()) {
+        std::vector<std::uint64_t> snapKeys(
+            static_cast<std::size_t>(n));
+        for (auto &k : snapKeys)
+            io.pod(k);
+        for (std::uint64_t k : keys) {
+            if (!std::binary_search(snapKeys.begin(), snapKeys.end(),
+                                    k))
+                pages_.erase(k);
+        }
+        keys = std::move(snapKeys);
+    } else {
+        for (std::uint64_t k : keys) {
+            std::uint64_t v = k;
+            io.pod(v);
+        }
+    }
+    for (std::uint64_t k : keys) {
+        auto it = pages_.find(k);
+        if (it == pages_.end())
+            K2_FATAL("snapshot restore: MESI page %llu missing",
+                     static_cast<unsigned long long>(k));
+        PageInfo &pi = *it->second;
+        io.pod(pi.state);
+        io.pod(pi.demoted);
+        io.pod(pi.outstanding);
+        io.pod(pi.upgrade);
+        io.pod(pi.raced);
+        io.pod(pi.grantArrived);
+        io.pod(pi.grantState);
+        io.pod(pi.pendingRw);
+        pi.grant->snapState(io);
+        pi.settled->snapState(io);
+        io.pod(pi.lastServiceTime);
+    }
+    io.pod(forwards_);
+    io.pod(writebacks_);
+}
+
+void
+MesiPair::registerMetrics(obs::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    const std::string pp = prefix + "." + protocolName(kind_);
+    reg.addCounter(pp + ".forwards", forwards_);
+    reg.addCounter(pp + ".writebacks", writebacks_);
+}
+
+sim::Task<void>
+MesiPair::handleMail(KernelIdx to_kernel, Message msg, soc::Core &core)
+{
+    const std::uint64_t page = pageOf(msg.payload);
+    const std::uint32_t op = opOf(msg.payload);
+    switch (msg.type) {
+      case MsgType::GetExclusive: {
+        const Access rw = (op == static_cast<std::uint32_t>(ReqOp::GetX))
+            ? Access::Write : Access::Read;
+        engine().spawn(serviceGet(to_kernel, page, rw));
+        co_return;
+      }
+      case MsgType::PutExclusive: {
+        co_await core.execTime(h_.soc->costs().busAccess);
+        PageInfo &pi = info(page);
+        switch (static_cast<RepOp>(op)) {
+          case RepOp::GrantS:
+            pi.grantState[to_kernel] = MState::S;
+            break;
+          case RepOp::GrantE:
+            pi.grantState[to_kernel] = MState::E;
+            break;
+          case RepOp::GrantX:
+            pi.grantState[to_kernel] = MState::M;
+            break;
+          case RepOp::InvAck:
+            K2_PANIC("pairwise MESI does not use InvAck");
+        }
+        pi.grantArrived[to_kernel] = true;
+        pi.grant->pulse();
+        co_return;
+      }
+      default:
+        K2_PANIC("MESI DSM received non-DSM message type %u",
+                 static_cast<unsigned>(msg.type));
+    }
+}
+
+} // namespace coherence
+} // namespace os
+} // namespace k2

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pairwise MESI / MOESI between the main and shadow kernels.
+ *
+ * With two parties the directory degenerates to a snoop over the
+ * mailbox: the faulting kernel sends GetS/GetX straight to its peer
+ * (opcode in the payload's top bits, see protocol.h), which services
+ * and grants back. The N-domain home-directory variant lives in
+ * os::NDsm (coherence/directory.h).
+ *
+ * What the extra states buy on this platform:
+ *  - E (clean exclusive): a kernel that wrote via an E copy upgrades
+ *    silently -- no upgrade round trip, unlike MSI where a sole clean
+ *    Shared copy still pays a full GetX fault to write.
+ *  - O (MOESI, owned-dirty): a read of a Modified page makes the
+ *    holder Owner instead of forcing a writeback; dirty data is
+ *    forwarded cache-to-cache through the small coherent region at
+ *    half the flush cost, and no memory writeback ever happens on the
+ *    read-sharing path.
+ *
+ * Both variants track reads, so weak-kernel faults pay the Cortex-M3
+ * cascaded-MMU read-tracking penalty exactly as the paper's MSI
+ * alternative does (§6.3).
+ */
+
+#ifndef K2_OS_COHERENCE_MESI_H
+#define K2_OS_COHERENCE_MESI_H
+
+#include <unordered_map>
+
+#include "os/coherence/protocol.h"
+
+namespace k2 {
+namespace os {
+namespace coherence {
+
+class MesiPair : public PairProtocol
+{
+  public:
+    MesiPair(ProtocolKind kind, const PairHost &host);
+
+    ProtocolKind kind() const override { return kind_; }
+
+    sim::Task<void> access(KernelIdx k, soc::Core &core,
+                           std::uint64_t page, Access rw) override;
+    sim::Task<void> handleMail(KernelIdx to, Message msg,
+                               soc::Core &core) override;
+    bool isLocallyValid(KernelIdx k, std::uint64_t page,
+                        Access rw) const override;
+    std::uint64_t reclaimAll(KernelIdx owner) override;
+    void snapState(snap::Io &io) override;
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix) const override;
+
+    /** Dirty cache-to-cache forwards (MOESI's saved writebacks). */
+    std::uint64_t forwards() const { return forwards_.value(); }
+
+    /** Dirty writebacks to memory on service (MESI pays these). */
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+  private:
+    enum class MState : std::uint8_t { I = 0, S, E, O, M };
+
+    struct PageInfo
+    {
+        std::array<MState, 2> state{MState::E, MState::I};
+        bool demoted = false;
+        std::array<bool, 2> outstanding{false, false};
+        std::array<bool, 2> upgrade{false, false}; //!< Valid copy held.
+        std::array<bool, 2> raced{false, false};   //!< Lost an upgrade.
+        std::array<bool, 2> grantArrived{false, false};
+        /** State granted by the peer's reply (valid on grantArrived). */
+        std::array<MState, 2> grantState{MState::I, MState::I};
+        /** Access kind of the fault in flight (for crash recovery). */
+        std::array<Access, 2> pendingRw{Access::Read, Access::Read};
+        std::unique_ptr<sim::Event> grant;
+        std::unique_ptr<sim::Event> settled;
+        sim::Duration lastServiceTime = 0;
+    };
+
+    PageInfo &info(std::uint64_t page);
+    bool satisfies(MState s, Access rw) const;
+    bool moesi() const { return kind_ == ProtocolKind::Moesi; }
+
+    /** Peer-side servicing of a GetS/GetX request. */
+    sim::Task<void> serviceGet(KernelIdx owner, std::uint64_t page,
+                               Access rw);
+
+    sim::Task<void> demote(std::uint64_t page, soc::Core &core,
+                           KernelIdx k);
+
+    ProtocolKind kind_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
+    sim::Counter forwards_;
+    sim::Counter writebacks_;
+};
+
+} // namespace coherence
+} // namespace os
+} // namespace k2
+
+#endif // K2_OS_COHERENCE_MESI_H

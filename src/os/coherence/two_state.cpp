@@ -1,0 +1,430 @@
+#include "os/coherence/two_state.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/log.h"
+#include "snap/io.h"
+
+namespace k2 {
+namespace os {
+namespace coherence {
+
+namespace {
+
+/** The Get message carries the access kind in the top sequence bit. */
+constexpr std::uint32_t kRwFlag = 0x100;
+
+std::uint32_t
+packSeq(std::uint32_t seq, Access rw)
+{
+    return (seq & 0xFF) | (rw == Access::Write ? kRwFlag : 0);
+}
+
+Access
+unpackRw(std::uint32_t seq)
+{
+    return (seq & kRwFlag) ? Access::Write : Access::Read;
+}
+
+} // namespace
+
+TwoStatePair::TwoStatePair(ProtocolKind kind, const PairHost &host)
+    : PairProtocol(host), kind_(kind)
+{
+    K2_ASSERT(kind == ProtocolKind::TwoState ||
+              kind == ProtocolKind::ThreeState);
+}
+
+TwoStatePair::PageInfo &
+TwoStatePair::info(std::uint64_t page)
+{
+    K2_ASSERT(page < h_.numPages);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        auto pi = std::make_unique<PageInfo>();
+        pi->grant = std::make_unique<sim::Event>(engine());
+        pi->settled = std::make_unique<sim::Event>(engine());
+        it = pages_.emplace(page, std::move(pi)).first;
+    }
+    return *it->second;
+}
+
+bool
+TwoStatePair::satisfies(PState s, Access rw) const
+{
+    if (s == PState::Exclusive)
+        return true;
+    if (kind_ == ProtocolKind::ThreeState && s == PState::Shared)
+        return rw == Access::Read;
+    return false;
+}
+
+bool
+TwoStatePair::isLocallyValid(KernelIdx kernel, std::uint64_t page,
+                             Access rw) const
+{
+    auto it = pages_.find(page);
+    const PState s = (it == pages_.end())
+        ? (kernel == 0 ? PState::Exclusive : PState::Invalid)
+        : it->second->state[kernel];
+    return satisfies(s, rw);
+}
+
+sim::Task<void>
+TwoStatePair::demote(std::uint64_t page, soc::Core &core, KernelIdx k)
+{
+    PageInfo &pi = info(page);
+    if (pi.demoted)
+        co_return;
+    pi.demoted = true;
+    h_.demotions->inc();
+    // Replacing the local large-grain mapping with 4 KB entries: one
+    // page-table update on the faulting side. The remote side's
+    // mapping is rewritten when it services/faults next; its cost is
+    // folded into the protection updates charged there.
+    co_await core.execTime(h_.mmus[k]->protectionUpdate(page));
+}
+
+sim::Task<void>
+TwoStatePair::access(KernelIdx k, soc::Core &core, std::uint64_t page,
+                     Access rw)
+{
+    PageInfo &pi = info(page);
+
+    // Address translation through the local MMU at the page's current
+    // mapping grain.
+    const auto grain =
+        pi.demoted ? soc::MapGrain::Page4K : soc::MapGrain::Section1M;
+    const sim::Duration walk = h_.mmus[k]->translate(page, grain);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        // Serialise with a fault already in flight on this kernel.
+        while (pi.outstanding[k]) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        if (satisfies(pi.state[k], rw))
+            co_return;
+
+        // ---- Full fault path (Table 5). ----
+        FaultStats &st = (*h_.stats)[k];
+        st.faults.inc();
+        K2_TRACE(engine(), sim::TraceCat::Dsm,
+                 "%s faults on page %llu (%s)",
+                 h_.kernels[k]->name().c_str(),
+                 static_cast<unsigned long long>(page),
+                 rw == Access::Write ? "W" : "R");
+        pi.outstanding[k] = true;
+        pi.upgrade[k] = (pi.state[k] == PState::Shared);
+        pi.raced[k] = false;
+
+        if (!pi.demoted)
+            co_await demote(page, core, k);
+
+        const sim::Time t0 = engine().now();
+        sim::Duration entry = h_.costs->faultEntry[k];
+        if (kind_ == ProtocolKind::ThreeState && k == 1)
+            entry += h_.mmus[k]->readTrackPenalty();
+        co_await core.execTime(entry);
+        const sim::Time t1 = engine().now();
+
+        co_await core.execTime(h_.costs->protocolExec[k]);
+        const sim::Time t2 = engine().now();
+
+        const std::uint32_t seq = (*h_.seq)++;
+        h_.messages->inc();
+        h_.kernels[k]->sendMail(
+            h_.kernels[1 - k]->domainId(),
+            encodeMessage(MsgType::GetExclusive, page & kPayloadMask,
+                          packSeq(seq, rw)));
+
+        // Spin (synchronously -- the faulting context may be an
+        // interrupt handler) until the grant arrives. With a retry
+        // policy, re-send the Get when the grant times out: the
+        // request or its grant may have been lost, or the peer may be
+        // down until the watchdog revives it.
+        pi.grant->reset();
+        pi.grantArrived[k] = false;
+        core.pinActive();
+        if (h_.retry->timeout == 0) {
+            co_await pi.grant->wait();
+        } else {
+            sim::Duration rto = h_.retry->timeout;
+            while (!pi.grantArrived[k]) {
+                bool timer_fired = false;
+                sim::Event *grant = pi.grant.get();
+                sim::EventId timer = engine().after(
+                    rto, [grant, &timer_fired]() {
+                        timer_fired = true;
+                        grant->pulse();
+                    });
+                co_await pi.grant->wait();
+                engine().cancel(timer);
+                if (pi.grantArrived[k])
+                    break;
+                if (!timer_fired)
+                    continue; // Woken by an unrelated pulse; re-wait.
+                h_.retries->inc();
+                h_.messages->inc();
+                K2_TRACE(engine(), sim::TraceCat::Dsm,
+                         "%s retries Get for page %llu",
+                         h_.kernels[k]->name().c_str(),
+                         static_cast<unsigned long long>(page));
+                h_.kernels[k]->sendMail(
+                    h_.kernels[1 - k]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  page & kPayloadMask,
+                                  packSeq((*h_.seq)++, rw)));
+                rto = std::min(rto * 2, h_.retry->maxTimeout);
+            }
+        }
+        core.unpinActive();
+        const sim::Time t3 = engine().now();
+
+        co_await core.execTime(h_.costs->exitRefill[k] +
+                               h_.mmus[k]->protectionUpdate(page));
+        const sim::Time t4 = engine().now();
+
+        const bool raced = pi.raced[k];
+        if (!raced) {
+            if (kind_ == ProtocolKind::TwoState ||
+                rw == Access::Write) {
+                pi.state[k] = PState::Exclusive;
+            } else {
+                // Read fault under MSI: both sides end up Shared (the
+                // service side downgraded itself).
+                pi.state[k] = PState::Shared;
+            }
+        }
+        pi.outstanding[k] = false;
+        pi.upgrade[k] = false;
+        pi.settled->pulse();
+
+        // Emit the fault and its phases as nested spans on the
+        // faulting kernel's track: a parent "fault" X event spanning
+        // t0..t4 with four child phases inside it (the same breakdown
+        // as Table 5).
+        if (engine().tracer().spansOn()) {
+            sim::Tracer &tr = engine().tracer();
+            tr.spanComplete(t0, t4 - t0, h_.tracks[k], "fault");
+            tr.spanComplete(t0, t1 - t0, h_.tracks[k], "fault_entry");
+            tr.spanComplete(t1, t2 - t1, h_.tracks[k], "protocol");
+            tr.spanComplete(t2, t3 - t2, h_.tracks[k], "comm+service");
+            tr.spanComplete(t3, t4 - t3, h_.tracks[k], "exit_refill");
+        }
+
+        st.localFaultUs.sample(sim::toUsec(t1 - t0));
+        st.protocolUs.sample(sim::toUsec(t2 - t1));
+        st.serviceUs.sample(sim::toUsec(pi.lastServiceTime));
+        st.commUs.sample(sim::toUsec(t3 - t2) -
+                         sim::toUsec(pi.lastServiceTime));
+        st.exitUs.sample(sim::toUsec(t4 - t3));
+        st.totalUs.sample(sim::toUsec(t4 - t0));
+
+        if (!raced)
+            co_return;
+        // Our copy was invalidated by a concurrent upgrade from the
+        // other kernel while we waited; retry the fault.
+    }
+}
+
+sim::Task<void>
+TwoStatePair::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
+                         std::uint32_t seq)
+{
+    (void)seq;
+    PageInfo &pi = info(page);
+
+    // The main kernel handles coherence requests in a bottom half and
+    // defers further under load; the shadow kernel serves immediately.
+    if (owner == 0) {
+        sim::Duration defer = h_.costs->mainBottomHalf;
+        if (h_.kernels[0]->scheduler().runqueueDepth() > 0)
+            defer += h_.costs->mainLoadedDefer;
+        co_await engine().sleep(defer);
+    }
+
+    // Serialise with a local fault in flight, except for a concurrent
+    // Shared->Exclusive upgrade race, which we resolve by invalidating
+    // the local copy and letting the local fault retry.
+    //
+    // A *crossed* pair of exclusive faults -- both copies Invalid, each
+    // kernel waiting for the other's grant -- can only arise after
+    // crash recovery desynchronises ownership (reclaim forces the dead
+    // side Invalid mid-fault; its stale retransmitted Get later
+    // invalidates the survivor). Waiting here would then deadlock:
+    // this service waits for the local fault to settle, the local
+    // fault waits for a grant the peer's equally-parked service never
+    // sends. The weak side breaks the cycle the same way the upgrade
+    // race does: service immediately and let the local fault retry.
+    bool crossed = false;
+    for (;;) {
+        crossed = owner != 0 && pi.outstanding[owner] &&
+                  !pi.upgrade[owner] &&
+                  pi.state[owner] == PState::Invalid;
+        if (crossed || !pi.outstanding[owner] || pi.upgrade[owner])
+            break;
+        co_await pi.settled->wait();
+    }
+
+    // Pick a core of the owning domain to run the service on.
+    soc::CoherenceDomain &dom = h_.kernels[owner]->domain();
+    soc::Core *core = &dom.core(0);
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        if (dom.core(i).state() == soc::PowerState::Idle) {
+            core = &dom.core(i);
+            break;
+        }
+    }
+    if (!core->awake())
+        co_await core->ensureAwake();
+
+    const sim::Time t_start = engine().now();
+    const bool dirty = pi.state[owner] == PState::Exclusive;
+    sim::Duration cost = h_.costs->serviceBase[owner] +
+                         h_.mmus[owner]->protectionUpdate(page);
+    if (dirty)
+        cost += dom.flushTime(h_.soc->pageBytes());
+    co_await core->execTime(cost);
+
+    if (kind_ == ProtocolKind::ThreeState && rw == Access::Read) {
+        // Downgrade: keep a clean Shared copy.
+        pi.state[owner] =
+            (pi.state[owner] == PState::Invalid) ? PState::Invalid
+                                                 : PState::Shared;
+    } else {
+        if (pi.outstanding[owner] && (pi.upgrade[owner] || crossed))
+            pi.raced[owner] = true;
+        pi.state[owner] = PState::Invalid;
+    }
+    pi.lastServiceTime = engine().now() - t_start;
+    engine().spanComplete(t_start, h_.tracks[owner], "service");
+    K2_TRACE(engine(), sim::TraceCat::Dsm,
+             "%s services page %llu (%s)",
+             h_.kernels[owner]->name().c_str(),
+             static_cast<unsigned long long>(page),
+             dirty ? "flush" : "clean");
+
+    h_.messages->inc();
+    h_.kernels[owner]->sendMail(
+        h_.kernels[1 - owner]->domainId(),
+        encodeMessage(MsgType::PutExclusive, page & kPayloadMask,
+                      packSeq((*h_.seq)++, rw)));
+}
+
+std::uint64_t
+TwoStatePair::reclaimAll(KernelIdx owner)
+{
+    K2_ASSERT(owner < 2);
+    const KernelIdx peer = 1 - owner;
+    std::uint64_t reclaimed = 0;
+    // Iterate in sorted page order: reclaim pulses grant events, and
+    // the pulse order decides wakeup FIFO order -- hash order would
+    // make recovery runs irreproducible.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t page : keys) {
+        auto &pi = pages_.at(page);
+        if (pi->state[owner] != PState::Exclusive ||
+            pi->state[peer] != PState::Invalid)
+            ++reclaimed;
+        pi->state[owner] = PState::Exclusive;
+        pi->state[peer] = PState::Invalid;
+        // A fault of the surviving kernel waiting on a grant from the
+        // dead peer now owns the page; complete it locally. Peer-side
+        // faults (if its domain is later revived) keep retrying and
+        // are serviced normally.
+        if (pi->outstanding[owner] && !pi->grantArrived[owner]) {
+            pi->grantArrived[owner] = true;
+            pi->grant->pulse();
+        }
+    }
+    return reclaimed;
+}
+
+void
+TwoStatePair::snapState(snap::Io &io)
+{
+    // Per-page coherence state, in sorted page order. The page map
+    // only ever grows (info() instantiates on first access); restore
+    // drops entries instantiated after the capture point -- they are
+    // re-instantiated identically on replay.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t n = io.count(keys.size());
+    if (io.restoring()) {
+        std::vector<std::uint64_t> snapKeys(
+            static_cast<std::size_t>(n));
+        for (auto &k : snapKeys)
+            io.pod(k);
+        for (std::uint64_t k : keys) {
+            if (!std::binary_search(snapKeys.begin(), snapKeys.end(),
+                                    k))
+                pages_.erase(k);
+        }
+        keys = std::move(snapKeys);
+    } else {
+        for (std::uint64_t k : keys) {
+            std::uint64_t v = k;
+            io.pod(v);
+        }
+    }
+    for (std::uint64_t k : keys) {
+        auto it = pages_.find(k);
+        if (it == pages_.end())
+            K2_FATAL("snapshot restore: DSM page %llu missing",
+                     static_cast<unsigned long long>(k));
+        PageInfo &pi = *it->second;
+        io.pod(pi.state);
+        io.pod(pi.demoted);
+        io.pod(pi.outstanding);
+        io.pod(pi.upgrade);
+        io.pod(pi.raced);
+        io.pod(pi.grantArrived);
+        pi.grant->snapState(io);
+        pi.settled->snapState(io);
+        io.pod(pi.lastServiceTime);
+    }
+}
+
+sim::Task<void>
+TwoStatePair::handleMail(KernelIdx to_kernel, Message msg,
+                         soc::Core &core)
+{
+    const std::uint64_t page = msg.payload;
+    switch (msg.type) {
+      case MsgType::GetExclusive:
+        // Service as a separate task so the mailbox ISR can keep
+        // draining (the main kernel's bottom-half behaviour); the
+        // shadow kernel's zero deferral makes it effectively
+        // immediate.
+        engine().spawn(
+            serviceGet(to_kernel, page, unpackRw(msg.seq), msg.seq));
+        co_return;
+      case MsgType::PutExclusive: {
+        // Grant: wake the spinning requester.
+        co_await core.execTime(h_.soc->costs().busAccess);
+        PageInfo &pi = info(page);
+        pi.grantArrived[to_kernel] = true;
+        pi.grant->pulse();
+        co_return;
+      }
+      default:
+        K2_PANIC("DSM received non-DSM message type %u",
+                 static_cast<unsigned>(msg.type));
+    }
+}
+
+} // namespace coherence
+} // namespace os
+} // namespace k2

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's protocols, extracted verbatim from the pre-strategy Dsm:
+ * the §6.3 two-state scheme (Valid/Invalid, exclusive-only) and its
+ * three-state MSI alternative (read sharing; weak-kernel faults pay
+ * the cascaded-MMU read-tracking penalty).
+ *
+ * These two are the byte-identical-compatibility anchors: the default
+ * configuration's artifacts (fig6*, table5/6, testbed metrics and
+ * trace) must not move by a single byte across the strategy
+ * extraction, so this file preserves the original control flow, event
+ * creation points and message encoding (page in the full 20-bit
+ * payload, access kind in seq bit 8) exactly.
+ */
+
+#ifndef K2_OS_COHERENCE_TWO_STATE_H
+#define K2_OS_COHERENCE_TWO_STATE_H
+
+#include <unordered_map>
+
+#include "os/coherence/protocol.h"
+
+namespace k2 {
+namespace os {
+namespace coherence {
+
+class TwoStatePair : public PairProtocol
+{
+  public:
+    TwoStatePair(ProtocolKind kind, const PairHost &host);
+
+    ProtocolKind kind() const override { return kind_; }
+
+    sim::Task<void> access(KernelIdx k, soc::Core &core,
+                           std::uint64_t page, Access rw) override;
+    sim::Task<void> handleMail(KernelIdx to, Message msg,
+                               soc::Core &core) override;
+    bool isLocallyValid(KernelIdx k, std::uint64_t page,
+                        Access rw) const override;
+    std::uint64_t reclaimAll(KernelIdx owner) override;
+    void snapState(snap::Io &io) override;
+
+  private:
+    /** Per-kernel page state. */
+    enum class PState : std::uint8_t { Invalid, Shared, Exclusive };
+
+    struct PageInfo
+    {
+        std::array<PState, 2> state{PState::Exclusive, PState::Invalid};
+        bool demoted = false;
+        std::array<bool, 2> outstanding{false, false};
+        std::array<bool, 2> upgrade{false, false}; //!< MSI upgrade race.
+        std::array<bool, 2> raced{false, false};   //!< Lost an upgrade.
+        /** Grant really arrived (vs a retry-timer pulse). */
+        std::array<bool, 2> grantArrived{false, false};
+        std::unique_ptr<sim::Event> grant;   //!< Pulsed on PutExclusive.
+        std::unique_ptr<sim::Event> settled; //!< Pulsed when a local
+                                             //!< fault fully completes.
+        sim::Duration lastServiceTime = 0;   //!< For attribution only.
+    };
+
+    PageInfo &info(std::uint64_t page);
+
+    bool satisfies(PState s, Access rw) const;
+
+    /** The owner-side servicing of a Get request (possibly deferred). */
+    sim::Task<void> serviceGet(KernelIdx owner, std::uint64_t page,
+                               Access rw, std::uint32_t seq);
+
+    sim::Task<void> demote(std::uint64_t page, soc::Core &core,
+                           KernelIdx k);
+
+    ProtocolKind kind_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
+};
+
+} // namespace coherence
+} // namespace os
+} // namespace k2
+
+#endif // K2_OS_COHERENCE_TWO_STATE_H

@@ -1,33 +1,11 @@
 #include "os/dsm.h"
 
-#include <algorithm>
-#include <vector>
-
 #include "obs/metrics.h"
 #include "sim/log.h"
 #include "snap/io.h"
 
 namespace k2 {
 namespace os {
-
-namespace {
-
-/** The Get message carries the access kind in the top sequence bit. */
-constexpr std::uint32_t kRwFlag = 0x100;
-
-std::uint32_t
-packSeq(std::uint32_t seq, Access rw)
-{
-    return (seq & 0xFF) | (rw == Access::Write ? kRwFlag : 0);
-}
-
-Access
-unpackRw(std::uint32_t seq)
-{
-    return (seq & kRwFlag) ? Access::Write : Access::Read;
-}
-
-} // namespace
 
 Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
          std::uint64_t num_pages, Protocol protocol)
@@ -36,8 +14,7 @@ Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
 
 Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
          std::uint64_t num_pages, Protocol protocol, CostModel costs)
-    : soc_(soc), kernels_(kernels), numPages_(num_pages),
-      protocol_(protocol), costs_(costs)
+    : soc_(soc), kernels_(kernels), numPages_(num_pages), costs_(costs)
 {
     for (KernelIdx k = 0; k < 2; ++k) {
         K2_ASSERT(kernels_[k] != nullptr);
@@ -46,7 +23,23 @@ Dsm::Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
         tracks_[k] =
             soc_.engine().addTrack("os.dsm." + kernels_[k]->name());
     }
+    coherence::PairHost host;
+    host.soc = &soc_;
+    host.kernels = kernels_;
+    host.costs = &costs_;
+    host.mmus = {mmus_[0].get(), mmus_[1].get()};
+    host.stats = &stats_;
+    host.tracks = tracks_;
+    host.messages = &messages_;
+    host.demotions = &demotions_;
+    host.retries = &retries_;
+    host.retry = &retry_;
+    host.seq = &seq_;
+    host.numPages = numPages_;
+    impl_ = coherence::makePairProtocol(protocol, host);
 }
+
+Dsm::~Dsm() = default;
 
 kern::PageRange
 Dsm::allocRegion(std::uint64_t pages)
@@ -61,20 +54,6 @@ Dsm::allocRegion(std::uint64_t pages)
     return r;
 }
 
-Dsm::PageInfo &
-Dsm::info(std::uint64_t page)
-{
-    K2_ASSERT(page < numPages_);
-    auto it = pages_.find(page);
-    if (it == pages_.end()) {
-        auto pi = std::make_unique<PageInfo>();
-        pi->grant = std::make_unique<sim::Event>(soc_.engine());
-        pi->settled = std::make_unique<sim::Event>(soc_.engine());
-        it = pages_.emplace(page, std::move(pi)).first;
-    }
-    return *it->second;
-}
-
 KernelIdx
 Dsm::idxOf(const kern::Kernel &k) const
 {
@@ -86,301 +65,24 @@ Dsm::idxOf(const kern::Kernel &k) const
 }
 
 bool
-Dsm::satisfies(PState s, Access rw) const
+Dsm::isLocallyValid(KernelIdx kernel, std::uint64_t page,
+                    Access rw) const
 {
-    if (s == PState::Exclusive)
-        return true;
-    if (protocol_ == Protocol::ThreeState && s == PState::Shared)
-        return rw == Access::Read;
-    return false;
-}
-
-bool
-Dsm::isLocallyValid(KernelIdx kernel, std::uint64_t page, Access rw) const
-{
-    auto it = pages_.find(page);
-    const PState s = (it == pages_.end())
-        ? (kernel == 0 ? PState::Exclusive : PState::Invalid)
-        : it->second->state[kernel];
-    return const_cast<Dsm *>(this)->satisfies(s, rw);
-}
-
-sim::Task<void>
-Dsm::demote(std::uint64_t page, soc::Core &core, KernelIdx k)
-{
-    PageInfo &pi = info(page);
-    if (pi.demoted)
-        co_return;
-    pi.demoted = true;
-    demotions_.inc();
-    // Replacing the local large-grain mapping with 4 KB entries: one
-    // page-table update on the faulting side. The remote side's
-    // mapping is rewritten when it services/faults next; its cost is
-    // folded into the protection updates charged there.
-    co_await core.execTime(mmus_[k]->protectionUpdate(page));
+    return impl_->isLocallyValid(kernel, page, rw);
 }
 
 sim::Task<void>
 Dsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
             Access rw)
 {
-    const KernelIdx k = idxOf(kern);
-    PageInfo &pi = info(page);
-
-    // Address translation through the local MMU at the page's current
-    // mapping grain.
-    const auto grain =
-        pi.demoted ? soc::MapGrain::Page4K : soc::MapGrain::Section1M;
-    const sim::Duration walk = mmus_[k]->translate(page, grain);
-    if (walk)
-        co_await core.execTime(walk);
-
-    for (;;) {
-        // Serialise with a fault already in flight on this kernel.
-        while (pi.outstanding[k]) {
-            core.pinActive();
-            co_await pi.settled->wait();
-            core.unpinActive();
-        }
-        if (satisfies(pi.state[k], rw))
-            co_return;
-
-        // ---- Full fault path (Table 5). ----
-        FaultStats &st = stats_[k];
-        st.faults.inc();
-        K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
-                 "%s faults on page %llu (%s)",
-                 kernels_[k]->name().c_str(),
-                 static_cast<unsigned long long>(page),
-                 rw == Access::Write ? "W" : "R");
-        pi.outstanding[k] = true;
-        pi.upgrade[k] = (pi.state[k] == PState::Shared);
-        pi.raced[k] = false;
-
-        if (!pi.demoted)
-            co_await demote(page, core, k);
-
-        const sim::Time t0 = soc_.engine().now();
-        sim::Duration entry = costs_.faultEntry[k];
-        if (protocol_ == Protocol::ThreeState && k == 1)
-            entry += mmus_[k]->readTrackPenalty();
-        co_await core.execTime(entry);
-        const sim::Time t1 = soc_.engine().now();
-
-        co_await core.execTime(costs_.protocolExec[k]);
-        const sim::Time t2 = soc_.engine().now();
-
-        const std::uint32_t seq = seq_++;
-        messages_.inc();
-        kernels_[k]->sendMail(
-            kernels_[1 - k]->domainId(),
-            encodeMessage(MsgType::GetExclusive, page & kPayloadMask,
-                          packSeq(seq, rw)));
-
-        // Spin (synchronously -- the faulting context may be an
-        // interrupt handler) until the grant arrives. With a retry
-        // policy, re-send the Get when the grant times out: the
-        // request or its grant may have been lost, or the peer may be
-        // down until the watchdog revives it.
-        pi.grant->reset();
-        pi.grantArrived[k] = false;
-        core.pinActive();
-        if (retry_.timeout == 0) {
-            co_await pi.grant->wait();
-        } else {
-            sim::Duration rto = retry_.timeout;
-            while (!pi.grantArrived[k]) {
-                bool timer_fired = false;
-                sim::Event *grant = pi.grant.get();
-                sim::EventId timer = soc_.engine().after(
-                    rto, [grant, &timer_fired]() {
-                        timer_fired = true;
-                        grant->pulse();
-                    });
-                co_await pi.grant->wait();
-                soc_.engine().cancel(timer);
-                if (pi.grantArrived[k])
-                    break;
-                if (!timer_fired)
-                    continue; // Woken by an unrelated pulse; re-wait.
-                retries_.inc();
-                messages_.inc();
-                K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
-                         "%s retries Get for page %llu",
-                         kernels_[k]->name().c_str(),
-                         static_cast<unsigned long long>(page));
-                kernels_[k]->sendMail(
-                    kernels_[1 - k]->domainId(),
-                    encodeMessage(MsgType::GetExclusive,
-                                  page & kPayloadMask,
-                                  packSeq(seq_++, rw)));
-                rto = std::min(rto * 2, retry_.maxTimeout);
-            }
-        }
-        core.unpinActive();
-        const sim::Time t3 = soc_.engine().now();
-
-        co_await core.execTime(costs_.exitRefill[k] +
-                               mmus_[k]->protectionUpdate(page));
-        const sim::Time t4 = soc_.engine().now();
-
-        const bool raced = pi.raced[k];
-        if (!raced) {
-            if (protocol_ == Protocol::TwoState || rw == Access::Write) {
-                pi.state[k] = PState::Exclusive;
-            } else {
-                // Read fault under MSI: both sides end up Shared (the
-                // service side downgraded itself).
-                pi.state[k] = PState::Shared;
-            }
-        }
-        pi.outstanding[k] = false;
-        pi.upgrade[k] = false;
-        pi.settled->pulse();
-
-        // Emit the fault and its phases as nested spans on the
-        // faulting kernel's track: a parent "fault" X event spanning
-        // t0..t4 with four child phases inside it (the same breakdown
-        // as Table 5).
-        if (soc_.engine().tracer().spansOn()) {
-            sim::Tracer &tr = soc_.engine().tracer();
-            tr.spanComplete(t0, t4 - t0, tracks_[k], "fault");
-            tr.spanComplete(t0, t1 - t0, tracks_[k], "fault_entry");
-            tr.spanComplete(t1, t2 - t1, tracks_[k], "protocol");
-            tr.spanComplete(t2, t3 - t2, tracks_[k], "comm+service");
-            tr.spanComplete(t3, t4 - t3, tracks_[k], "exit_refill");
-        }
-
-        st.localFaultUs.sample(sim::toUsec(t1 - t0));
-        st.protocolUs.sample(sim::toUsec(t2 - t1));
-        st.serviceUs.sample(sim::toUsec(pi.lastServiceTime));
-        st.commUs.sample(sim::toUsec(t3 - t2) -
-                         sim::toUsec(pi.lastServiceTime));
-        st.exitUs.sample(sim::toUsec(t4 - t3));
-        st.totalUs.sample(sim::toUsec(t4 - t0));
-
-        if (!raced)
-            co_return;
-        // Our copy was invalidated by a concurrent upgrade from the
-        // other kernel while we waited; retry the fault.
-    }
-}
-
-sim::Task<void>
-Dsm::serviceGet(KernelIdx owner, std::uint64_t page, Access rw,
-                std::uint32_t seq)
-{
-    (void)seq;
-    PageInfo &pi = info(page);
-
-    // The main kernel handles coherence requests in a bottom half and
-    // defers further under load; the shadow kernel serves immediately.
-    if (owner == 0) {
-        sim::Duration defer = costs_.mainBottomHalf;
-        if (kernels_[0]->scheduler().runqueueDepth() > 0)
-            defer += costs_.mainLoadedDefer;
-        co_await soc_.engine().sleep(defer);
-    }
-
-    // Serialise with a local fault in flight, except for a concurrent
-    // Shared->Exclusive upgrade race, which we resolve by invalidating
-    // the local copy and letting the local fault retry.
-    //
-    // A *crossed* pair of exclusive faults -- both copies Invalid, each
-    // kernel waiting for the other's grant -- can only arise after
-    // crash recovery desynchronises ownership (reclaim forces the dead
-    // side Invalid mid-fault; its stale retransmitted Get later
-    // invalidates the survivor). Waiting here would then deadlock:
-    // this service waits for the local fault to settle, the local
-    // fault waits for a grant the peer's equally-parked service never
-    // sends. The weak side breaks the cycle the same way the upgrade
-    // race does: service immediately and let the local fault retry.
-    bool crossed = false;
-    for (;;) {
-        crossed = owner != 0 && pi.outstanding[owner] &&
-                  !pi.upgrade[owner] &&
-                  pi.state[owner] == PState::Invalid;
-        if (crossed || !pi.outstanding[owner] || pi.upgrade[owner])
-            break;
-        co_await pi.settled->wait();
-    }
-
-    // Pick a core of the owning domain to run the service on.
-    soc::CoherenceDomain &dom = kernels_[owner]->domain();
-    soc::Core *core = &dom.core(0);
-    for (std::size_t i = 0; i < dom.numCores(); ++i) {
-        if (dom.core(i).state() == soc::PowerState::Idle) {
-            core = &dom.core(i);
-            break;
-        }
-    }
-    if (!core->awake())
-        co_await core->ensureAwake();
-
-    const sim::Time t_start = soc_.engine().now();
-    const bool dirty = pi.state[owner] == PState::Exclusive;
-    sim::Duration cost = costs_.serviceBase[owner] +
-                         mmus_[owner]->protectionUpdate(page);
-    if (dirty)
-        cost += dom.flushTime(soc_.pageBytes());
-    co_await core->execTime(cost);
-
-    if (protocol_ == Protocol::ThreeState && rw == Access::Read) {
-        // Downgrade: keep a clean Shared copy.
-        pi.state[owner] =
-            (pi.state[owner] == PState::Invalid) ? PState::Invalid
-                                                 : PState::Shared;
-    } else {
-        if (pi.outstanding[owner] && (pi.upgrade[owner] || crossed))
-            pi.raced[owner] = true;
-        pi.state[owner] = PState::Invalid;
-    }
-    pi.lastServiceTime = soc_.engine().now() - t_start;
-    soc_.engine().spanComplete(t_start, tracks_[owner], "service");
-    K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
-             "%s services page %llu (%s)",
-             kernels_[owner]->name().c_str(),
-             static_cast<unsigned long long>(page),
-             dirty ? "flush" : "clean");
-
-    messages_.inc();
-    kernels_[owner]->sendMail(
-        kernels_[1 - owner]->domainId(),
-        encodeMessage(MsgType::PutExclusive, page & kPayloadMask,
-                      packSeq(seq_++, rw)));
+    return impl_->access(idxOf(kern), core, page, rw);
 }
 
 std::uint64_t
 Dsm::reclaimAll(KernelIdx owner)
 {
     K2_ASSERT(owner < 2);
-    const KernelIdx peer = 1 - owner;
-    std::uint64_t reclaimed = 0;
-    // Iterate in sorted page order: reclaim pulses grant events, and
-    // the pulse order decides wakeup FIFO order -- hash order would
-    // make recovery runs irreproducible.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(pages_.size());
-    for (const auto &kv : pages_)
-        keys.push_back(kv.first);
-    std::sort(keys.begin(), keys.end());
-    for (std::uint64_t page : keys) {
-        auto &pi = pages_.at(page);
-        if (pi->state[owner] != PState::Exclusive ||
-            pi->state[peer] != PState::Invalid)
-            ++reclaimed;
-        pi->state[owner] = PState::Exclusive;
-        pi->state[peer] = PState::Invalid;
-        // A fault of the surviving kernel waiting on a grant from the
-        // dead peer now owns the page; complete it locally. Peer-side
-        // faults (if its domain is later revived) keep retrying and
-        // are serviced normally.
-        if (pi->outstanding[owner] && !pi->grantArrived[owner]) {
-            pi->grantArrived[owner] = true;
-            pi->grant->pulse();
-        }
-    }
-    return reclaimed;
+    return impl_->reclaimAll(owner);
 }
 
 void
@@ -404,50 +106,7 @@ Dsm::snapState(snap::Io &io)
         io.pod(st.exitUs);
         io.pod(st.totalUs);
     }
-
-    // Per-page coherence state, in sorted page order. The page map
-    // only ever grows (info() instantiates on first access); restore
-    // drops entries instantiated after the capture point -- they are
-    // re-instantiated identically on replay.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(pages_.size());
-    for (const auto &kv : pages_)
-        keys.push_back(kv.first);
-    std::sort(keys.begin(), keys.end());
-    std::uint64_t n = io.count(keys.size());
-    if (io.restoring()) {
-        std::vector<std::uint64_t> snapKeys(
-            static_cast<std::size_t>(n));
-        for (auto &k : snapKeys)
-            io.pod(k);
-        for (std::uint64_t k : keys) {
-            if (!std::binary_search(snapKeys.begin(), snapKeys.end(),
-                                    k))
-                pages_.erase(k);
-        }
-        keys = std::move(snapKeys);
-    } else {
-        for (std::uint64_t k : keys) {
-            std::uint64_t v = k;
-            io.pod(v);
-        }
-    }
-    for (std::uint64_t k : keys) {
-        auto it = pages_.find(k);
-        if (it == pages_.end())
-            K2_FATAL("snapshot restore: DSM page %llu missing",
-                     static_cast<unsigned long long>(k));
-        PageInfo &pi = *it->second;
-        io.pod(pi.state);
-        io.pod(pi.demoted);
-        io.pod(pi.outstanding);
-        io.pod(pi.upgrade);
-        io.pod(pi.raced);
-        io.pod(pi.grantArrived);
-        pi.grant->snapState(io);
-        pi.settled->snapState(io);
-        io.pod(pi.lastServiceTime);
-    }
+    impl_->snapState(io);
 }
 
 void
@@ -478,33 +137,13 @@ Dsm::registerMetrics(obs::MetricsRegistry &reg,
             return static_cast<double>(mmu.tlb().misses());
         });
     }
+    impl_->registerMetrics(reg, prefix);
 }
 
 sim::Task<void>
 Dsm::handleMail(KernelIdx to_kernel, Message msg, soc::Core &core)
 {
-    const std::uint64_t page = msg.payload;
-    switch (msg.type) {
-      case MsgType::GetExclusive:
-        // Service as a separate task so the mailbox ISR can keep
-        // draining (the main kernel's bottom-half behaviour); the
-        // shadow kernel's zero deferral makes it effectively
-        // immediate.
-        soc_.engine().spawn(
-            serviceGet(to_kernel, page, unpackRw(msg.seq), msg.seq));
-        co_return;
-      case MsgType::PutExclusive: {
-        // Grant: wake the spinning requester.
-        co_await core.execTime(soc_.costs().busAccess);
-        PageInfo &pi = info(page);
-        pi.grantArrived[to_kernel] = true;
-        pi.grant->pulse();
-        co_return;
-      }
-      default:
-        K2_PANIC("DSM received non-DSM message type %u",
-                 static_cast<unsigned>(msg.type));
-    }
+    return impl_->handleMail(to_kernel, msg, core);
 }
 
 } // namespace os

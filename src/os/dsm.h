@@ -16,6 +16,14 @@
  * sharing is implemented for the §6.3 ablation; it pays the Cortex-M3
  * cascaded-MMU read-tracking penalty on every weak-kernel fault.
  *
+ * The per-page state machine, message verbs and fault-phase cost hooks
+ * are a pluggable strategy (src/os/coherence/): beyond the paper's two
+ * protocols the registry carries directory MESI/MOESI and a log-based
+ * release-acquire protocol, selectable via K2Config::dsmProtocol or
+ * the sweep binaries' --dsm= flag. This class remains the facade that
+ * owns the platform handles, cost model, Table-5 statistics and
+ * metrics, so reports and snapshots are protocol-independent.
+ *
  * Asymmetric priorities (favouring the strong domain): the main kernel
  * services GetExclusive in a bottom half, deferring further when
  * loaded; the shadow kernel services requests before any other pending
@@ -28,7 +36,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "sim/stats.h"
 #include "sim/sync.h"
@@ -36,6 +43,7 @@
 #include "soc/mmu.h"
 #include "soc/soc.h"
 #include "kern/kernel.h"
+#include "os/coherence/protocol.h"
 #include "os/messages.h"
 #include "os/system.h"
 
@@ -50,60 +58,17 @@ namespace os {
 class Dsm
 {
   public:
-    enum class Protocol { TwoState, ThreeState };
+    /** Protocol selector (see coherence::ProtocolKind for the zoo). */
+    using Protocol = coherence::ProtocolKind;
 
-    /**
-     * Per-fault cost constants, indexed by kernel (0 = main on the
-     * strong domain, 1 = shadow on the weak domain). Defaults are
-     * calibrated against Table 5 of the paper.
-     */
-    struct CostModel
-    {
-        /** Exception entry + fault decoding on the faulting kernel. */
-        std::array<sim::Duration, 2> faultEntry{sim::usec(3),
-                                                sim::usec(17)};
-        /** Coherence-protocol bookkeeping on the faulting kernel. */
-        std::array<sim::Duration, 2> protocolExec{sim::usec(2),
-                                                  sim::usec(13)};
-        /** Request servicing on the *owning* kernel, before the cache
-         *  flush (which is charged separately from the domain spec). */
-        std::array<sim::Duration, 2> serviceBase{0, sim::usec(8)};
-        /** Fault exit + cache refill on the faulting kernel. */
-        std::array<sim::Duration, 2> exitRefill{sim::usec(18),
-                                                sim::usec(2)};
-        /** Bottom-half delay before the main kernel services. */
-        sim::Duration mainBottomHalf = sim::usec(4);
-        /** Extra deferral when the main kernel is under load. */
-        sim::Duration mainLoadedDefer = sim::usec(30);
-    };
+    /** Per-fault cost constants (Table 5 calibration). */
+    using CostModel = coherence::PairCostModel;
 
-    /**
-     * Fault-timeout retry (recovery layer). Off by default
-     * (timeout == 0): the faulting kernel spins on the grant forever,
-     * exactly the pre-fault-plane behaviour. When enabled, a faulter
-     * whose grant does not arrive within the timeout re-sends its
-     * GetExclusive with a fresh sequence number, backing off
-     * exponentially up to maxTimeout. Attempts are unbounded: the
-     * faulter must survive a crashed peer until the watchdog revives
-     * it (or re-owns the page under it).
-     */
-    struct RetryPolicy
-    {
-        sim::Duration timeout = 0;
-        sim::Duration maxTimeout = sim::msec(4);
-    };
+    /** Fault-timeout retry policy (recovery layer). */
+    using RetryPolicy = coherence::RetryPolicy;
 
     /** Per-sender fault statistics (the Table 5 breakdown). */
-    struct FaultStats
-    {
-        sim::Counter faults;
-        sim::Accumulator localFaultUs;
-        sim::Accumulator protocolUs;
-        sim::Accumulator commUs;
-        sim::Accumulator serviceUs;
-        sim::Accumulator exitUs;
-        sim::Accumulator totalUs;
-    };
+    using FaultStats = coherence::FaultStats;
 
     /**
      * @param soc The platform.
@@ -115,8 +80,9 @@ class Dsm
         std::uint64_t num_pages, Protocol protocol = Protocol::TwoState);
     Dsm(soc::Soc &soc, std::array<kern::Kernel *, 2> kernels,
         std::uint64_t num_pages, Protocol protocol, CostModel costs);
+    ~Dsm();
 
-    Protocol protocol() const { return protocol_; }
+    Protocol protocol() const { return impl_->kind(); }
 
     /** Enable/disable the fault-timeout retry (see RetryPolicy). */
     void setRetryPolicy(RetryPolicy p) { retry_ = p; }
@@ -184,7 +150,10 @@ class Dsm
 
     /**
      * Register fault counters, the per-phase Table 5 accumulators and
-     * MMU statistics under "<prefix>.<kernel-name>.*".
+     * MMU statistics under "<prefix>.<kernel-name>.*". Protocols
+     * beyond the paper's two add their own counters under
+     * "<prefix>.<proto>.*"; the defaults add none, keeping the legacy
+     * key set exact.
      */
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix) const;
@@ -197,44 +166,14 @@ class Dsm
     void snapState(snap::Io &io);
 
   private:
-    /** Per-kernel page state. */
-    enum class PState : std::uint8_t { Invalid, Shared, Exclusive };
-
-    struct PageInfo
-    {
-        std::array<PState, 2> state{PState::Exclusive, PState::Invalid};
-        bool demoted = false;
-        std::array<bool, 2> outstanding{false, false};
-        std::array<bool, 2> upgrade{false, false}; //!< MSI upgrade race.
-        std::array<bool, 2> raced{false, false};   //!< Lost an upgrade.
-        /** Grant really arrived (vs a retry-timer pulse). */
-        std::array<bool, 2> grantArrived{false, false};
-        std::unique_ptr<sim::Event> grant;   //!< Pulsed on PutExclusive.
-        std::unique_ptr<sim::Event> settled; //!< Pulsed when a local
-                                             //!< fault fully completes.
-        sim::Duration lastServiceTime = 0;   //!< For attribution only.
-    };
-
-    PageInfo &info(std::uint64_t page);
     KernelIdx idxOf(const kern::Kernel &k) const;
-
-    bool satisfies(PState s, Access rw) const;
-
-    /** The owner-side servicing of a Get request (possibly deferred). */
-    sim::Task<void> serviceGet(KernelIdx owner, std::uint64_t page,
-                               Access rw, std::uint32_t seq);
-
-    sim::Task<void> demote(std::uint64_t page, soc::Core &core,
-                           KernelIdx k);
 
     soc::Soc &soc_;
     std::array<kern::Kernel *, 2> kernels_;
     std::uint64_t numPages_;
     std::uint64_t nextRegionPage_ = 0;
-    Protocol protocol_;
     CostModel costs_;
     std::array<std::unique_ptr<soc::Mmu>, 2> mmus_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<PageInfo>> pages_;
     std::array<FaultStats, 2> stats_;
     std::array<sim::TrackId, 2> tracks_{}; //!< Per-kernel span tracks.
     sim::Counter messages_;
@@ -242,6 +181,7 @@ class Dsm
     sim::Counter retries_;
     RetryPolicy retry_{};
     std::uint32_t seq_ = 0;
+    std::unique_ptr<coherence::PairProtocol> impl_;
 };
 
 } // namespace os

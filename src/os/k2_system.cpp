@@ -138,7 +138,8 @@ K2System::K2System(K2Config cfg)
     if (replicas >= 2) {
         // Shared regions span all kernels through the N-kernel DSM;
         // grant retries are always on (a replica owner can crash).
-        ndsmR_ = std::make_unique<NDsm>(*soc_, allKernels, cfg_.dsmPages);
+        ndsmR_ = std::make_unique<NDsm>(*soc_, allKernels, cfg_.dsmPages,
+                                        cfg_.dsmProtocol);
         ndsmR_->setRetryPolicy({cfg_.recovery.dsmRetryTimeout,
                                 cfg_.recovery.dsmRetryMax});
     } else {

@@ -9,10 +9,17 @@
 namespace k2 {
 namespace os {
 
+using coherence::Directory;
+using coherence::packOp;
+using coherence::pageOf;
+using coherence::ProtocolKind;
+using coherence::RepOp;
+using coherence::ReqOp;
+
 NDsm::NDsm(soc::Soc &soc, std::vector<kern::Kernel *> kernels,
-           std::uint64_t num_pages)
-    : soc_(soc), kernels_(std::move(kernels)), numPages_(num_pages),
-      stats_(kernels_.size())
+           std::uint64_t num_pages, ProtocolKind kind)
+    : soc_(soc), kernels_(std::move(kernels)), kind_(kind),
+      numPages_(num_pages), stats_(kernels_.size())
 {
     K2_ASSERT(kernels_.size() >= 2);
     for (kern::Kernel *k : kernels_) {
@@ -28,6 +35,22 @@ NDsm::NDsm(soc::Soc &soc, std::vector<kern::Kernel *> kernels,
             costs_.push_back(Costs{sim::usec(17), sim::usec(13),
                                    sim::usec(8), sim::usec(2)});
         }
+        weak_.push_back(spec.kernelCostFactor > 1.0 ? 1 : 0);
+    }
+    switch (kind_) {
+      case ProtocolKind::TwoState:
+        break;
+      case ProtocolKind::ThreeState:
+      case ProtocolKind::Mesi:
+      case ProtocolKind::Moesi:
+        dir_ = std::make_unique<Directory>(kind_, kernels_.size(),
+                                           numPages_);
+        break;
+      case ProtocolKind::Rac:
+        K2_ASSERT(numPages_ <= coherence::kOpMaxPages);
+        rac_ = std::make_unique<coherence::RacState>(kernels_.size(),
+                                                     numPages_);
+        break;
     }
 }
 
@@ -68,17 +91,66 @@ NDsm::idxOf(const kern::Kernel &k) const
 std::size_t
 NDsm::ownerOf(std::uint64_t page) const
 {
-    auto it = pages_.find(page);
-    return it == pages_.end() ? 0 : it->second->owner;
+    switch (kind_) {
+      case ProtocolKind::Rac:
+        return rac_->writerOf(page);
+      case ProtocolKind::TwoState: {
+        auto it = pages_.find(page);
+        return it == pages_.end() ? 0 : it->second->owner;
+      }
+      default:
+        return dir_->ownerOf(page);
+    }
+}
+
+soc::Core *
+NDsm::pickCore(std::size_t kernel)
+{
+    soc::CoherenceDomain &dom = kernels_[kernel]->domain();
+    soc::Core *core = &dom.core(0);
+    for (std::size_t i = 0; i < dom.numCores(); ++i) {
+        if (dom.core(i).state() == soc::PowerState::Idle) {
+            core = &dom.core(i);
+            break;
+        }
+    }
+    return core;
+}
+
+void
+NDsm::samplePhases(std::size_t k, sim::Time t0, sim::Time t1,
+                   sim::Time t2, sim::Time t3, sim::Time t4,
+                   sim::Duration service)
+{
+    Stats &st = stats_[k];
+    st.entryUs.sample(sim::toUsec(t1 - t0));
+    st.protocolUs.sample(sim::toUsec(t2 - t1));
+    st.serviceUs.sample(sim::toUsec(service));
+    st.commUs.sample(sim::toUsec(t3 - t2) - sim::toUsec(service));
+    st.exitUs.sample(sim::toUsec(t4 - t3));
+    st.totalUs.sample(sim::toUsec(t4 - t0));
 }
 
 sim::Task<void>
 NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
              Access rw)
 {
-    (void)rw; // the N-domain protocol is two-state: any access is
-              // exclusive, as in §6.3.
     const std::size_t k = idxOf(kern);
+    switch (kind_) {
+      case ProtocolKind::TwoState:
+        // The migratory protocol is two-state: any access is
+        // exclusive, as in §6.3 -- rw is irrelevant.
+        return accessTwoState(k, core, page);
+      case ProtocolKind::Rac:
+        return accessRac(k, core, page, rw);
+      default:
+        return accessDir(k, core, page, rw);
+    }
+}
+
+sim::Task<void>
+NDsm::accessTwoState(std::size_t k, soc::Core &core, std::uint64_t page)
+{
     PageInfo &pi = info(page);
 
     const sim::Duration walk =
@@ -103,7 +175,9 @@ NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
 
         const sim::Time t0 = soc_.engine().now();
         co_await core.execTime(costs_[k].faultEntry);
+        const sim::Time t1 = soc_.engine().now();
         co_await core.execTime(costs_[k].protocolExec);
+        const sim::Time t2 = soc_.engine().now();
 
         // Directory lookup gives the current owner; request it
         // directly (no broadcast).
@@ -153,24 +227,527 @@ NDsm::access(kern::Kernel &kern, soc::Core &core, std::uint64_t page,
             }
         }
         core.unpinActive();
+        const sim::Time t3 = soc_.engine().now();
 
         co_await core.execTime(costs_[k].exitRefill +
                                mmus_[k]->protectionUpdate(page));
+        const sim::Time t4 = soc_.engine().now();
 
         pi.owner = k;
         pi.outstanding = false;
         pi.settled->pulse();
-        stats_[k].totalUs.sample(
-            sim::toUsec(soc_.engine().now() - t0));
+        samplePhases(k, t0, t1, t2, t3, t4, pi.lastServiceTime);
         co_return;
     }
 }
+
+sim::Task<void>
+NDsm::spinForGrant(PageInfo &pi, std::size_t k, soc::Core &core,
+                   std::uint64_t page, std::uint32_t resend_payload)
+{
+    pi.grant->reset();
+    pi.grantArrived = false;
+    core.pinActive();
+    if (retry_.timeout == 0) {
+        co_await pi.grant->wait();
+    } else {
+        sim::Duration rto = retry_.timeout;
+        while (!pi.grantArrived) {
+            bool timer_fired = false;
+            sim::Event *grant = pi.grant.get();
+            sim::EventId timer = soc_.engine().after(
+                rto, [grant, &timer_fired]() {
+                    timer_fired = true;
+                    grant->pulse();
+                });
+            co_await pi.grant->wait();
+            soc_.engine().cancel(timer);
+            if (pi.grantArrived)
+                break;
+            if (!timer_fired)
+                continue; // Woken by an unrelated pulse; re-wait.
+            retries_.inc();
+            K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                     "%s retries request for N-DSM page %llu",
+                     kernels_[k]->name().c_str(),
+                     static_cast<unsigned long long>(page));
+            if (kind_ == ProtocolKind::Rac) {
+                // Re-read the writer: a reclaim may have moved the
+                // page (possibly to us) since the original Acq.
+                const std::size_t w = rac_->writerOf(page);
+                if (w == k)
+                    break;
+                messages_.inc();
+                kernels_[k]->sendMail(
+                    kernels_[w]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  resend_payload, seq_++ & kSeqMask));
+            } else if (k == 0) {
+                // The home re-runs its own directory transaction
+                // (duplicate-suppressed if still active).
+                soc_.engine().spawn(dirService(
+                    0, page,
+                    coherence::opOf(resend_payload) ==
+                        static_cast<std::uint32_t>(ReqOp::GetX),
+                    false));
+            } else {
+                messages_.inc();
+                kernels_[k]->sendMail(
+                    kernels_[0]->domainId(),
+                    encodeMessage(MsgType::GetExclusive,
+                                  resend_payload, seq_++ & kSeqMask));
+            }
+            rto = std::min(rto * 2, retry_.maxTimeout);
+        }
+    }
+    core.unpinActive();
+}
+
+// ---------------------------------------------------------------------
+// Directory modes (MSI / MESI / MOESI; home on kernel 0).
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+NDsm::accessDir(std::size_t k, soc::Core &core, std::uint64_t page,
+                Access rw)
+{
+    PageInfo &pi = info(page);
+
+    const sim::Duration walk =
+        mmus_[k]->translate(page, soc::MapGrain::Page4K);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        // One transaction per page at a time (the home serialises; the
+        // simulator-side wait models the directory's request queue).
+        while (pi.outstanding) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        const bool valid = rw == Access::Write
+            ? dir_->writeValid(k, page)
+            : dir_->readValid(k, page);
+        if (valid)
+            co_return;
+
+        stats_[k].faults.inc();
+        K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                 "%s faults on N-DSM page %llu (%s)",
+                 kernels_[k]->name().c_str(),
+                 static_cast<unsigned long long>(page),
+                 rw == Access::Write ? "W" : "R");
+        pi.outstanding = true;
+        pi.requester = k;
+        pi.lastServiceTime = 0;
+
+        const sim::Time t0 = soc_.engine().now();
+        // Read-sharing protocols track reads, so weak kernels pay the
+        // cascaded-MMU read-tracking penalty on every fault (§6.3).
+        sim::Duration entry = costs_[k].faultEntry;
+        if (weak_[k])
+            entry += mmus_[k]->readTrackPenalty();
+        co_await core.execTime(entry);
+        const sim::Time t1 = soc_.engine().now();
+        co_await core.execTime(costs_[k].protocolExec);
+        const sim::Time t2 = soc_.engine().now();
+
+        const std::uint32_t payload = packOp(
+            rw == Access::Write ? ReqOp::GetX : ReqOp::GetS, page);
+        if (k == 0) {
+            // The home faulting on itself: run the directory
+            // transaction locally, no mail.
+            soc_.engine().spawn(
+                dirService(0, page, rw == Access::Write, false));
+        } else {
+            messages_.inc();
+            kernels_[k]->sendMail(
+                kernels_[0]->domainId(),
+                encodeMessage(MsgType::GetExclusive, payload,
+                              seq_++ & kSeqMask));
+        }
+
+        co_await spinForGrant(pi, k, core, page, payload);
+        const sim::Time t3 = soc_.engine().now();
+
+        co_await core.execTime(costs_[k].exitRefill +
+                               mmus_[k]->protectionUpdate(page));
+        const sim::Time t4 = soc_.engine().now();
+
+        pi.outstanding = false;
+        pi.settled->pulse();
+        samplePhases(k, t0, t1, t2, t3, t4, pi.lastServiceTime);
+
+        // The home applied the transition before granting; a stale
+        // grant (from a retried transaction) fails this check and the
+        // fault retries.
+        const bool done = rw == Access::Write
+            ? dir_->writeValid(k, page)
+            : dir_->readValid(k, page);
+        if (done)
+            co_return;
+    }
+}
+
+sim::Task<void>
+NDsm::dirService(std::size_t req, std::uint64_t page, bool write,
+                 bool via_mail)
+{
+    PageInfo &pi = info(page);
+
+    // The strong home kernel handles directory requests in a bottom
+    // half (its own faults skip the mailbox).
+    if (via_mail)
+        co_await soc_.engine().sleep(soc_.costs().mailboxOneWay);
+
+    Directory::Entry &e = dir_->entry(page);
+    if (e.reqActive)
+        co_return; // Duplicate of the transaction already in flight.
+    e.reqActive = true;
+    e.reqWrite = write;
+    e.requester = static_cast<std::uint32_t>(req);
+    e.serviceStart = soc_.engine().now();
+
+    soc::Core *core = pickCore(0);
+    if (!core->awake())
+        co_await core->ensureAwake();
+    // Directory lookup in the home's coherent memory.
+    co_await core->execTime(costs_[0].serviceBase +
+                            soc_.costs().busAccess);
+
+    if (!write) {
+        if (e.dirty && e.owner != req && e.owner != 0) {
+            // 3-hop read: the dirty owner forwards (MOESI) or writes
+            // back (MSI/MESI) and grants straight to the requester.
+            messages_.inc();
+            kernels_[0]->sendMail(
+                kernels_[e.owner]->domainId(),
+                encodeMessage(MsgType::GetExclusive,
+                              packOp(ReqOp::Fwd, page),
+                              seq_++ & kSeqMask));
+            co_return; // fwdService closes the transaction.
+        }
+        if (e.dirty && e.owner == 0 && req != 0) {
+            // The home itself holds the dirty copy.
+            soc::CoherenceDomain &dom = kernels_[0]->domain();
+            if (kind_ == ProtocolKind::Moesi) {
+                dir_->forwardsCounter().inc();
+                co_await core->execTime(
+                    dom.flushTime(soc_.pageBytes()) / 2);
+            } else {
+                dir_->writebacksCounter().inc();
+                co_await core->execTime(dom.flushTime(soc_.pageBytes()));
+                e.dirty = false;
+            }
+        }
+        e.sharers |= Directory::bit(req);
+        if (e.sharers == Directory::bit(req)) {
+            // Sole copy: clean-exclusive (E under MESI/MOESI).
+            e.owner = static_cast<std::uint32_t>(req);
+            e.dirty = false;
+        }
+        const RepOp op = (e.sharers == Directory::bit(req) &&
+                          kind_ != ProtocolKind::ThreeState)
+            ? RepOp::GrantE
+            : RepOp::GrantS;
+        e.reqActive = false;
+        pi.lastServiceTime = soc_.engine().now() - e.serviceStart;
+        grantTo(0, req, page, op);
+        co_return;
+    }
+
+    // Write: invalidate every other holder, then grant exclusivity.
+    std::uint32_t targets =
+        (e.sharers | Directory::bit(e.owner)) & ~Directory::bit(req);
+    if ((targets & 1u) != 0) {
+        // The home's own copy is invalidated inline.
+        sim::Duration c = mmus_[0]->protectionUpdate(page);
+        if (e.dirty && e.owner == 0) {
+            dir_->writebacksCounter().inc();
+            c += kernels_[0]->domain().flushTime(soc_.pageBytes());
+        }
+        dir_->invalidationsCounter().inc();
+        co_await core->execTime(c);
+        e.sharers &= ~1u;
+        targets &= ~1u;
+    }
+    if (targets == 0) {
+        dir_->finishWrite(e, req);
+        pi.lastServiceTime = soc_.engine().now() - e.serviceStart;
+        grantTo(0, req, page, RepOp::GrantX);
+        co_return;
+    }
+    e.ackWait = targets;
+    for (std::size_t t = 1; t < kernels_.size(); ++t) {
+        if ((targets & Directory::bit(t)) == 0)
+            continue;
+        dir_->invalidationsCounter().inc();
+        messages_.inc();
+        kernels_[0]->sendMail(
+            kernels_[t]->domainId(),
+            encodeMessage(MsgType::GetExclusive,
+                          packOp(ReqOp::Inv, page), seq_++ & kSeqMask));
+    }
+    // The InvAcks close the transaction (see handleMail).
+}
+
+sim::Task<void>
+NDsm::invService(std::size_t target, std::uint64_t page)
+{
+    Directory::Entry &e = dir_->entry(page);
+
+    soc::Core *core = pickCore(target);
+    if (!core->awake())
+        co_await core->ensureAwake();
+
+    const bool dirty_owner = e.dirty && e.owner == target;
+    sim::Duration c = costs_[target].serviceBase +
+                      mmus_[target]->protectionUpdate(page);
+    if (dirty_owner) {
+        dir_->writebacksCounter().inc();
+        c += kernels_[target]->domain().flushTime(soc_.pageBytes());
+    }
+    co_await core->execTime(c);
+
+    e.sharers &= ~Directory::bit(target);
+    if (dirty_owner)
+        e.dirty = false;
+    messages_.inc();
+    kernels_[target]->sendMail(
+        kernels_[0]->domainId(),
+        encodeMessage(MsgType::PutExclusive,
+                      packOp(RepOp::InvAck, page), seq_++ & kSeqMask));
+}
+
+sim::Task<void>
+NDsm::fwdService(std::size_t owner, std::uint64_t page)
+{
+    PageInfo &pi = info(page);
+    Directory::Entry &e = dir_->entry(page);
+
+    soc::Core *core = pickCore(owner);
+    if (!core->awake())
+        co_await core->ensureAwake();
+
+    soc::CoherenceDomain &dom = kernels_[owner]->domain();
+    sim::Duration c = costs_[owner].serviceBase;
+    if (kind_ == ProtocolKind::Moesi) {
+        // Owned-dirty: forward cache-to-cache through the coherent
+        // region at half the flush cost; no memory writeback.
+        dir_->forwardsCounter().inc();
+        c += dom.flushTime(soc_.pageBytes()) / 2;
+    } else {
+        dir_->writebacksCounter().inc();
+        c += dom.flushTime(soc_.pageBytes());
+    }
+    co_await core->execTime(c);
+
+    if (kind_ != ProtocolKind::Moesi)
+        e.dirty = false; // MSI/MESI write back and downgrade to S.
+    const std::size_t req = e.requester;
+    e.sharers |= Directory::bit(req);
+    e.reqActive = false;
+    pi.lastServiceTime = soc_.engine().now() - e.serviceStart;
+    grantTo(owner, req, page, RepOp::GrantS);
+}
+
+void
+NDsm::grantTo(std::size_t grantor, std::size_t req, std::uint64_t page,
+              RepOp op)
+{
+    PageInfo &pi = info(page);
+    if (req == grantor) {
+        // The grantor is the faulter (home transaction for kernel 0):
+        // complete locally, no mail.
+        pi.grantArrived = true;
+        pi.grant->pulse();
+        return;
+    }
+    messages_.inc();
+    kernels_[grantor]->sendMail(
+        kernels_[req]->domainId(),
+        encodeMessage(MsgType::PutExclusive, packOp(op, page),
+                      seq_++ & kSeqMask));
+}
+
+// ---------------------------------------------------------------------
+// Release-acquire (RAC) mode.
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+NDsm::accessRac(std::size_t k, soc::Core &core, std::uint64_t page,
+                Access rw)
+{
+    PageInfo &pi = info(page);
+
+    // No demotion under release-acquire: invalidation is line-grain
+    // via the logs, so the mapping stays at section grain.
+    const sim::Duration walk =
+        mmus_[k]->translate(page, soc::MapGrain::Section1M);
+    if (walk)
+        co_await core.execTime(walk);
+
+    for (;;) {
+        while (pi.outstanding) {
+            core.pinActive();
+            co_await pi.settled->wait();
+            core.unpinActive();
+        }
+        const bool valid = rw == Access::Write
+            ? rac_->isWriter(k, page)
+            : rac_->readFresh(k, page);
+        if (valid) {
+            if (rw == Access::Write) {
+                // Owner write: log the modified lines through the
+                // coherent region.
+                rac_->append(k, page);
+                co_await core.execTime(soc_.costs().busAccess);
+            }
+            co_return;
+        }
+
+        stats_[k].faults.inc();
+        K2_TRACE(soc_.engine(), sim::TraceCat::Dsm,
+                 "%s acquires N-DSM page %llu (%s)",
+                 kernels_[k]->name().c_str(),
+                 static_cast<unsigned long long>(page),
+                 rw == Access::Write ? "W" : "R");
+        pi.outstanding = true;
+        pi.requester = k;
+        pi.lastServiceTime = 0;
+
+        // No read-tracking penalty: invalidation is push-based.
+        const sim::Time t0 = soc_.engine().now();
+        co_await core.execTime(costs_[k].faultEntry);
+        const sim::Time t1 = soc_.engine().now();
+        co_await core.execTime(costs_[k].protocolExec);
+        const sim::Time t2 = soc_.engine().now();
+
+        const std::uint32_t payload = packOp(ReqOp::Acq, page);
+        const std::size_t w = rac_->writerOf(page);
+        messages_.inc();
+        kernels_[k]->sendMail(
+            kernels_[w]->domainId(),
+            encodeMessage(MsgType::GetExclusive, payload,
+                          seq_++ & kSeqMask));
+
+        co_await spinForGrant(pi, k, core, page, payload);
+        const sim::Time t3 = soc_.engine().now();
+
+        // Drain every peer log with pending entries: invalidate the
+        // listed lines locally and merge the writers' clocks. One
+        // acquire freshens the whole backlog, not just this page.
+        for (std::size_t w2 = 0; w2 < kernels_.size(); ++w2) {
+            if (w2 == k)
+                continue;
+            const std::uint32_t pend = rac_->pendingLines(k, w2);
+            if (pend == 0)
+                continue;
+            rac_->drain(k, w2);
+            co_await core.execTime(pend *
+                                   coherence::kRacLineInvalidate);
+        }
+
+        sim::Duration exit = costs_[k].exitRefill;
+        if (rw == Access::Write)
+            exit += mmus_[k]->protectionUpdate(page);
+        co_await core.execTime(exit);
+        const sim::Time t4 = soc_.engine().now();
+
+        if (rw == Access::Write)
+            rac_->takeOwnership(k, page);
+        pi.outstanding = false;
+        pi.settled->pulse();
+        samplePhases(k, t0, t1, t2, t3, t4, pi.lastServiceTime);
+
+        if (rw == Access::Write)
+            co_return; // Ownership taken; the write is logged.
+        if (rac_->readFresh(k, page))
+            co_return;
+        // The writer released again while we drained; re-acquire.
+    }
+}
+
+sim::Task<void>
+NDsm::racService(std::size_t writer, std::size_t req,
+                 std::uint64_t page)
+{
+    PageInfo &pi = info(page);
+
+    // The strong kernel's cache agent runs as a bottom half.
+    if (writer == 0)
+        co_await soc_.engine().sleep(soc_.costs().mailboxOneWay);
+
+    soc::Core *core = pickCore(writer);
+    if (!core->awake())
+        co_await core->ensureAwake();
+
+    // Release: flush the page's dirty lines through the coherent
+    // region so the acquirer's drain observes them.
+    const sim::Time t0 = soc_.engine().now();
+    co_await core->execTime(
+        costs_[writer].serviceBase +
+        kernels_[writer]->domain().flushTime(soc_.pageBytes()));
+    pi.lastServiceTime = soc_.engine().now() - t0;
+
+    messages_.inc();
+    kernels_[writer]->sendMail(
+        kernels_[req]->domainId(),
+        encodeMessage(MsgType::PutExclusive,
+                      packOp(RepOp::GrantX, page), seq_++ & kSeqMask));
+}
+
+// ---------------------------------------------------------------------
+// Recovery, metrics, mail dispatch, snapshots.
+// ---------------------------------------------------------------------
 
 std::vector<std::uint64_t>
 NDsm::reclaimFrom(std::size_t dead, std::size_t to)
 {
     K2_ASSERT(dead < kernels_.size() && to < kernels_.size());
     K2_ASSERT(dead != to);
+
+    if (kind_ == ProtocolKind::Rac) {
+        std::vector<std::uint64_t> moved = rac_->reclaim(dead, to);
+        // The inheritor's own stranded acquires complete locally; any
+        // other requester self-heals through the retry path (the
+        // resend re-reads the writer).
+        std::vector<std::uint64_t> keys;
+        keys.reserve(pages_.size());
+        for (const auto &kv : pages_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys) {
+            PageInfo &pi = *pages_.at(key);
+            if (pi.outstanding && pi.requester == to &&
+                !pi.grantArrived) {
+                pi.grantArrived = true;
+                pi.grant->pulse();
+            }
+        }
+        return moved;
+    }
+
+    if (kind_ != ProtocolKind::TwoState) {
+        // Directory: scrub the dead domain from every entry and wake
+        // the requesters of transactions that were stalled only on it.
+        std::vector<std::uint64_t> completed;
+        std::vector<std::uint64_t> moved =
+            dir_->reclaim(dead, to, completed);
+        for (std::uint64_t page : completed) {
+            auto it = pages_.find(page);
+            if (it == pages_.end())
+                continue;
+            PageInfo &pi = *it->second;
+            if (pi.outstanding && !pi.grantArrived) {
+                pi.grantArrived = true;
+                pi.grant->pulse();
+            }
+        }
+        return moved;
+    }
+
     // Ascending page order for deterministic reclaim traffic.
     std::vector<std::uint64_t> keys;
     keys.reserve(pages_.size());
@@ -211,6 +788,20 @@ NDsm::registerMetrics(obs::MetricsRegistry &reg,
         reg.addCounter(kp + ".faults", stats_[k].faults);
         reg.addAccumulator(kp + ".total_us", stats_[k].totalUs);
     }
+    if (kind_ == ProtocolKind::TwoState)
+        return; // Legacy key set, exactly.
+    for (std::size_t k = 0; k < kernels_.size(); ++k) {
+        const std::string kp = prefix + "." + kernels_[k]->name();
+        reg.addAccumulator(kp + ".fault_entry_us", stats_[k].entryUs);
+        reg.addAccumulator(kp + ".protocol_us", stats_[k].protocolUs);
+        reg.addAccumulator(kp + ".comm_us", stats_[k].commUs);
+        reg.addAccumulator(kp + ".service_us", stats_[k].serviceUs);
+        reg.addAccumulator(kp + ".exit_us", stats_[k].exitUs);
+    }
+    if (dir_)
+        dir_->registerMetrics(reg, prefix);
+    if (rac_)
+        rac_->registerMetrics(reg, prefix);
 }
 
 sim::Task<void>
@@ -251,7 +842,6 @@ sim::Task<void>
 NDsm::handleMail(std::size_t to_kernel, soc::Mail mail, soc::Core &core)
 {
     const Message msg = decodeMessage(mail.word);
-    const std::uint64_t page = msg.payload;
     // The Mail carries the sending domain; map it to a kernel index.
     std::size_t from_kernel = SIZE_MAX;
     for (std::size_t i = 0; i < kernels_.size(); ++i) {
@@ -260,21 +850,79 @@ NDsm::handleMail(std::size_t to_kernel, soc::Mail mail, soc::Core &core)
     }
     K2_ASSERT(from_kernel != SIZE_MAX);
 
-    switch (msg.type) {
-      case MsgType::GetExclusive:
-        soc_.engine().spawn(serviceGet(to_kernel, from_kernel, page));
-        co_return;
-      case MsgType::PutExclusive: {
-        co_await core.execTime(soc_.costs().busAccess);
-        PageInfo &pi = info(page);
-        pi.grantArrived = true;
-        pi.grant->pulse();
-        co_return;
-      }
-      default:
+    if (kind_ == ProtocolKind::TwoState) {
+        const std::uint64_t page = msg.payload;
+        switch (msg.type) {
+          case MsgType::GetExclusive:
+            soc_.engine().spawn(
+                serviceGet(to_kernel, from_kernel, page));
+            co_return;
+          case MsgType::PutExclusive: {
+            co_await core.execTime(soc_.costs().busAccess);
+            PageInfo &pi = info(page);
+            pi.grantArrived = true;
+            pi.grant->pulse();
+            co_return;
+          }
+          default:
+            K2_PANIC("NDsm received unexpected message type %u",
+                     static_cast<unsigned>(msg.type));
+        }
+    }
+
+    const std::uint64_t page = pageOf(msg.payload);
+    const std::uint32_t op = coherence::opOf(msg.payload);
+    if (msg.type == MsgType::GetExclusive) {
+        if (kind_ == ProtocolKind::Rac) {
+            K2_ASSERT(op == static_cast<std::uint32_t>(ReqOp::Acq));
+            soc_.engine().spawn(
+                racService(to_kernel, from_kernel, page));
+            co_return;
+        }
+        switch (static_cast<ReqOp>(op)) {
+          case ReqOp::GetS:
+          case ReqOp::GetX:
+            K2_ASSERT(to_kernel == 0); // Requests go to the home.
+            soc_.engine().spawn(dirService(
+                from_kernel, page,
+                static_cast<ReqOp>(op) == ReqOp::GetX, true));
+            co_return;
+          case ReqOp::Inv:
+            soc_.engine().spawn(invService(to_kernel, page));
+            co_return;
+          case ReqOp::Fwd:
+            soc_.engine().spawn(fwdService(to_kernel, page));
+            co_return;
+          default:
+            K2_PANIC("N-DSM directory received request op %u",
+                     static_cast<unsigned>(op));
+        }
+    }
+    if (msg.type != MsgType::PutExclusive)
         K2_PANIC("NDsm received unexpected message type %u",
                  static_cast<unsigned>(msg.type));
+
+    co_await core.execTime(soc_.costs().busAccess);
+    if (kind_ != ProtocolKind::Rac &&
+        op == static_cast<std::uint32_t>(RepOp::InvAck)) {
+        K2_ASSERT(to_kernel == 0);
+        Directory::Entry &e = dir_->entry(page);
+        e.ackWait &= ~Directory::bit(from_kernel);
+        if (e.reqActive && e.reqWrite && e.ackWait == 0) {
+            const std::size_t req = e.requester;
+            dir_->finishWrite(e, req);
+            PageInfo &pi = info(page);
+            pi.lastServiceTime =
+                soc_.engine().now() - e.serviceStart;
+            grantTo(0, req, page, RepOp::GrantX);
+        }
+        co_return;
     }
+    // A grant: wake the spinning requester.
+    PageInfo &pi = info(page);
+    pi.grantArrived = true;
+    pi.grant->pulse();
+    co_return;
 }
 
 void
@@ -290,6 +938,11 @@ NDsm::snapState(snap::Io &io)
     for (Stats &st : stats_) {
         io.pod(st.faults);
         io.pod(st.totalUs);
+        io.pod(st.entryUs);
+        io.pod(st.protocolUs);
+        io.pod(st.commUs);
+        io.pod(st.serviceUs);
+        io.pod(st.exitUs);
     }
 
     // Per-page directory state, in sorted page order. As in the
@@ -332,6 +985,11 @@ NDsm::snapState(snap::Io &io)
         pi.settled->snapState(io);
         io.pod(pi.lastServiceTime);
     }
+
+    if (dir_)
+        dir_->snapState(io);
+    if (rac_)
+        rac_->snapState(io);
 }
 
 } // namespace os

@@ -6,16 +6,26 @@
  * structural changes: the DSM (§6.3) will track page ownership among
  * N domains as in [17]..."
  *
- * This generalises the two-kernel Dsm to N kernels: each page has one
- * *owner* kernel; a non-owner that needs the page sends GetExclusive
- * to the current owner (ownership is tracked in a directory that every
- * kernel's replica keeps in sync — here modelled as the simulator-side
- * table, with the directory-lookup cost charged per fault). The owner
- * flushes, invalidates, and replies PutExclusive directly to the
- * requester; the mailbox Mail carries the sender domain, so no
- * third-party forwarding is needed. The one-writer invariant holds
- * across all N kernels.
+ * This generalises the two-kernel Dsm to N kernels, with the coherence
+ * protocol pluggable (coherence::ProtocolKind):
  *
+ *  - TwoState (default): the paper's migratory scheme. Each page has
+ *    one *owner* kernel; a non-owner sends GetExclusive to the current
+ *    owner (ownership is tracked in a directory every kernel's replica
+ *    keeps in sync — here modelled as the simulator-side table, with
+ *    the directory-lookup cost charged per fault). The owner flushes,
+ *    invalidates, and replies PutExclusive directly to the requester.
+ *  - ThreeState/Mesi/Moesi: a home-based directory (home on the
+ *    strong kernel 0) with per-page sharer bitmaps: reads share,
+ *    writes fan invalidations out to every sharer and collect InvAcks
+ *    before the grant; MESI adds silent clean-exclusive upgrades,
+ *    MOESI forwards dirty pages cache-to-cache without writeback
+ *    (coherence/directory.h).
+ *  - Rac: log-based release-acquire — owners append modified lines to
+ *    per-domain logs, acquirers drain them under vector-clock order
+ *    (coherence/rac.h).
+ *
+ * The one-writer invariant holds across all N kernels in every mode.
  * Asymmetric priorities generalise too: the strong (index 0) kernel
  * services requests in a bottom half; all weak kernels serve
  * immediately.
@@ -35,6 +45,8 @@
 #include "soc/mmu.h"
 #include "soc/soc.h"
 #include "kern/kernel.h"
+#include "os/coherence/directory.h"
+#include "os/coherence/rac.h"
 #include "os/messages.h"
 #include "os/system.h"
 
@@ -60,8 +72,8 @@ class NDsm
 
     /**
      * Fault-grant retry policy (mirrors Dsm::RetryPolicy). With a
-     * nonzero timeout a faulting kernel re-sends its GetExclusive --
-     * to the page's *current* owner, re-read from the directory -- so
+     * nonzero timeout a faulting kernel re-sends its request -- to the
+     * page's *current* owner/home, re-read from the directory -- so
      * a fault stranded on a crashed owner self-heals once the page is
      * reclaimed to a survivor (reclaimFrom) or the owner revives.
      */
@@ -71,13 +83,31 @@ class NDsm
         sim::Duration maxTimeout = 0;
     };
 
+    /** Per-kernel fault statistics, with the Table-5 phase split. */
+    struct Stats
+    {
+        sim::Counter faults;
+        sim::Accumulator totalUs;
+        sim::Accumulator entryUs;
+        sim::Accumulator protocolUs;
+        sim::Accumulator commUs;
+        sim::Accumulator serviceUs;
+        sim::Accumulator exitUs;
+    };
+
     /**
      * @param soc Platform.
      * @param kernels One kernel per coherence domain, strong first.
      * @param num_pages DSM page keys available.
+     * @param kind Coherence protocol (default: the paper's two-state
+     *        migratory scheme; see coherence::ProtocolKind).
      */
     NDsm(soc::Soc &soc, std::vector<kern::Kernel *> kernels,
-         std::uint64_t num_pages);
+         std::uint64_t num_pages,
+         coherence::ProtocolKind kind =
+             coherence::ProtocolKind::TwoState);
+
+    coherence::ProtocolKind kind() const { return kind_; }
 
     void setRetryPolicy(RetryPolicy p) { retry_ = p; }
 
@@ -90,20 +120,18 @@ class NDsm
     sim::Task<void> access(kern::Kernel &kern, soc::Core &core,
                            std::uint64_t page, Access rw);
 
-    /** Mail dispatch (GetExclusive/PutExclusive). */
-    sim::Task<void> handleMail(std::size_t to_kernel, soc::Mail mail,
-                               soc::Core &core);
-
-    /** Current owner of @p page. */
+    /** Current owner of @p page (directory modes: the entry's owner;
+     *  RAC: the page's last writer). */
     std::size_t ownerOf(std::uint64_t page) const;
 
     /**
      * Reassign every page owned by the (crashed) kernel @p dead to
      * @p to, in ascending page order, and return the moved page keys.
-     * Faults left outstanding against the dead owner are *not*
-     * completed here: the requester's retry re-reads the directory and
-     * lands on the new owner (arm a RetryPolicy before injecting
-     * crashes).
+     * Directory modes also scrub @p dead from sharer/ack bitmaps and
+     * complete transactions that were stalled only on it. Faults left
+     * outstanding against the dead owner are otherwise *not* completed
+     * here: the requester's retry re-reads the directory and lands on
+     * the new owner (arm a RetryPolicy before injecting crashes).
      */
     std::vector<std::uint64_t> reclaimFrom(std::size_t dead,
                                            std::size_t to);
@@ -120,16 +148,32 @@ class NDsm
         return stats_.at(kernel).totalUs.mean();
     }
 
+    /** Full per-kernel stats, including the phase breakdown (the
+     *  phase accumulators are populated in every mode). */
+    const Stats &kernelStats(std::size_t kernel) const
+    {
+        return stats_.at(kernel);
+    }
+
     std::uint64_t messagesSent() const { return messages_.value(); }
     std::uint64_t retries() const { return retries_.value(); }
     /** @} */
 
-    /** Register stats under @p prefix (e.g. "os.ndsm"). */
+    /**
+     * Register stats under @p prefix (e.g. "os.ndsm"). The TwoState
+     * default registers the legacy key set exactly; other protocols
+     * add their phase accumulators and protocol counters.
+     */
     void registerMetrics(obs::MetricsRegistry &reg,
                          const std::string &prefix);
 
+    /** Mail dispatch (GetExclusive/PutExclusive). */
+    sim::Task<void> handleMail(std::size_t to_kernel, soc::Mail mail,
+                               soc::Core &core);
+
     /** Capture/restore: per-page ownership (post-capture pages are
-     *  dropped), MMU state, statistics, and the sequence counter. */
+     *  dropped), MMU state, statistics, protocol state, and the
+     *  sequence counter. */
     void snapState(snap::Io &io);
 
   private:
@@ -144,20 +188,46 @@ class NDsm
         sim::Duration lastServiceTime = 0;
     };
 
-    struct Stats
-    {
-        sim::Counter faults;
-        sim::Accumulator totalUs;
-    };
-
     PageInfo &info(std::uint64_t page);
     std::size_t idxOf(const kern::Kernel &k) const;
+    soc::Core *pickCore(std::size_t kernel);
+    void samplePhases(std::size_t k, sim::Time t0, sim::Time t1,
+                      sim::Time t2, sim::Time t3, sim::Time t4,
+                      sim::Duration service);
+    sim::Task<void> spinForGrant(PageInfo &pi, std::size_t k,
+                                 soc::Core &core, std::uint64_t page,
+                                 std::uint32_t resend_payload);
+
+    /** @name TwoState (migratory) mode. @{ */
+    sim::Task<void> accessTwoState(std::size_t k, soc::Core &core,
+                                   std::uint64_t page);
     sim::Task<void> serviceGet(std::size_t owner, std::size_t requester,
                                std::uint64_t page);
+    /** @} */
+
+    /** @name Directory (MSI/MESI/MOESI) mode. @{ */
+    sim::Task<void> accessDir(std::size_t k, soc::Core &core,
+                              std::uint64_t page, Access rw);
+    sim::Task<void> dirService(std::size_t req, std::uint64_t page,
+                               bool write, bool via_mail);
+    sim::Task<void> invService(std::size_t target, std::uint64_t page);
+    sim::Task<void> fwdService(std::size_t owner, std::uint64_t page);
+    void grantTo(std::size_t grantor, std::size_t req,
+                 std::uint64_t page, coherence::RepOp op);
+    /** @} */
+
+    /** @name Release-acquire (RAC) mode. @{ */
+    sim::Task<void> accessRac(std::size_t k, soc::Core &core,
+                              std::uint64_t page, Access rw);
+    sim::Task<void> racService(std::size_t writer, std::size_t req,
+                               std::uint64_t page);
+    /** @} */
 
     soc::Soc &soc_;
     std::vector<kern::Kernel *> kernels_;
+    coherence::ProtocolKind kind_;
     std::vector<Costs> costs_;
+    std::vector<char> weak_; //!< Pays the read-tracking penalty.
     std::vector<std::unique_ptr<soc::Mmu>> mmus_;
     std::uint64_t numPages_;
     std::uint64_t nextRegionPage_ = 0;
@@ -167,6 +237,8 @@ class NDsm
     sim::Counter retries_;
     RetryPolicy retry_{};
     std::uint32_t seq_ = 0;
+    std::unique_ptr<coherence::Directory> dir_; //!< Directory modes.
+    std::unique_ptr<coherence::RacState> rac_;  //!< RAC mode.
 };
 
 } // namespace os

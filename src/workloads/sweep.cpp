@@ -1,5 +1,7 @@
 #include "workloads/sweep.h"
 
+#include "os/coherence/protocol.h"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -266,6 +268,19 @@ parseStringFlag(int &argc, char **argv, const char *flag,
     if (value.empty())
         K2_FATAL("%s expects a non-empty value", flag);
     return value;
+}
+
+bool
+parseDsmFlag(int &argc, char **argv, os::coherence::ProtocolKind &out)
+{
+    std::string value;
+    if (!consumeFlag(argc, argv, "--dsm=", value))
+        return false;
+    // Char offset of the name inside the user's "--dsm=NAME" text,
+    // carried into the parse error (the --faults= convention).
+    out = os::coherence::parseProtocol(value,
+                                       std::strlen("--dsm="));
+    return true;
 }
 
 } // namespace wl

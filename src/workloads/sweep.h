@@ -44,6 +44,13 @@
 #include "sim/log.h"
 
 namespace k2 {
+
+namespace os {
+namespace coherence {
+enum class ProtocolKind : std::uint8_t;
+}
+} // namespace os
+
 namespace wl {
 
 class SweepRunner
@@ -194,6 +201,21 @@ double parseFloatFlag(int &argc, char **argv, const char *flag,
  */
 std::string parseStringFlag(int &argc, char **argv, const char *flag,
                             const std::string &fallback);
+
+/**
+ * Parse and strip a `--dsm=PROTO` flag (last occurrence wins),
+ * selecting the DSM coherence protocol (see
+ * os::coherence::ProtocolKind; names as printed by protocolNames()).
+ *
+ * @param out Set to the parsed protocol when the flag is present;
+ *        untouched otherwise, so callers initialise it with their
+ *        default.
+ * @return True when the flag was present.
+ * @throws sim::FatalError on an unknown name, pinpointing the typo's
+ *         position within the flag text (the --faults= convention).
+ */
+bool parseDsmFlag(int &argc, char **argv,
+                  os::coherence::ProtocolKind &out);
 
 } // namespace wl
 } // namespace k2

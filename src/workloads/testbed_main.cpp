@@ -5,11 +5,16 @@
  *
  *   testbed [--system=k2|linux] [--episodes=N] [--runs=N] [--seed=N]
  *           [--jobs=N] [--sweep=warm|cold] [--faults=SPEC]
- *           [--replicas=N] [--metrics=FILE] [--trace=FILE]
+ *           [--dsm=PROTO] [--replicas=N] [--metrics=FILE]
+ *           [--trace=FILE]
  *
  * --faults arms the K2 fault-injection plane with a declarative
  * schedule (e.g. --faults="mailbox.drop:p=1e-3,dma.err:at=2s"); the
  * recovery protocols and their os.recovery.* metrics come with it.
+ *
+ * --dsm selects the DSM coherence protocol (2state, 3state, mesi,
+ * moesi, rac; see DESIGN.md §14). The default 2state is byte-identical
+ * to builds before the protocol zoo.
  *
  * --replicas=N (default 1) runs each shadowed service on N weak
  * domains with majority voting and leader election (os.replica.*
@@ -38,6 +43,7 @@
 
 #include "fault/plan.h"
 #include "obs/metrics.h"
+#include "os/coherence/protocol.h"
 #include "obs/trace_export.h"
 #include "sim/random.h"
 #include "workloads/benchmarks.h"
@@ -55,6 +61,8 @@ struct Options
     int runs = 1;
     int replicas = 1;
     std::uint64_t seed = 42;
+    k2::os::coherence::ProtocolKind dsm =
+        k2::os::coherence::ProtocolKind::TwoState;
     std::string faults;
     std::string metricsFile;
     std::string traceFile;
@@ -112,8 +120,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 stderr,
                 "usage: testbed [--system=k2|linux] [--episodes=N] "
                 "[--runs=N] [--seed=N] [--jobs=N] [--sweep=warm|cold] "
-                "[--faults=SPEC] [--replicas=N] [--metrics=FILE] "
-                "[--trace=FILE]\n");
+                "[--faults=SPEC] [--dsm=PROTO] [--replicas=N] "
+                "[--metrics=FILE] [--trace=FILE]\n");
             return false;
         }
     }
@@ -175,15 +183,21 @@ runChain(const Options &opt, k2::wl::SweepMode sweep, int run,
     // The warm-fixture key embeds the replica degree only when it
     // differs from the default, so replicas=1 invocations keep the
     // exact pre-replication key (and hence fixture reuse behaviour).
+    // Likewise the DSM protocol: the key gains a suffix only when it
+    // deviates from the default, keeping pre-zoo keys (and fixture
+    // reuse) for plain invocations.
     std::string key = "k2:" + opt.faults;
     if (opt.replicas > 1)
         key += ":r" + std::to_string(opt.replicas);
+    if (opt.dsm != os::coherence::ProtocolKind::TwoState)
+        key += ":" + std::string(os::coherence::protocolName(opt.dsm));
     wl::Testbed &tb = opt.k2
         ? wl::warmK2(sweep, key, [&opt] {
               os::K2Config cfg;
               if (!opt.faults.empty())
                   cfg.faults = fault::FaultPlan::parse(opt.faults);
               cfg.replicas = static_cast<std::size_t>(opt.replicas);
+              cfg.dsmProtocol = opt.dsm;
               return cfg;
           })
         : wl::warmLinux(sweep, "linux");
@@ -254,8 +268,21 @@ main(int argc, char **argv)
     const wl::SweepMode sweep = wl::parseSweepFlag(argc, argv);
 
     Options opt;
+    bool dsmSet = false;
+    try {
+        dsmSet = wl::parseDsmFlag(argc, argv, opt.dsm);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
     if (!parseArgs(argc, argv, opt))
         return 2;
+    if (dsmSet && !opt.k2) {
+        std::fprintf(stderr,
+                     "--dsm requires --system=k2 (the baseline has no "
+                     "DSM)\n");
+        return 2;
+    }
 
     // Validate the fault spec up front so a typo fails fast instead of
     // surfacing from inside a sweep cell.
